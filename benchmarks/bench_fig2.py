@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 2 (nGTL-Score vs group size).
+
+Asserts the paper's curve shape: the inside-seed curve has a deep minimum
+at the planted boundary; the outside-seed curve stays flat near 1.
+"""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2(benchmark, once):
+    gtl_size = 2000
+    result = benchmark.pedantic(
+        run_fig2,
+        kwargs=dict(num_cells=12_000, gtl_size=gtl_size, seed=2010),
+        **once,
+    )
+    print("\n" + result.render())
+
+    inside = result.series["seed inside GTL"]
+    outside = result.series["seed outside GTL"]
+
+    min_size, min_value = min(inside, key=lambda p: p[1])
+    assert min_value < 0.15, "paper: minimum ~0.1"
+    assert abs(min_size - gtl_size) <= 0.02 * gtl_size, "minimum at the boundary"
+
+    # After the minimum the curve rises again (adding non-members hurts).
+    tail = [v for s, v in inside if s > 1.5 * gtl_size]
+    assert min(tail) > 2 * min_value
+
+    outside_values = [v for s, v in outside if s > 200]
+    assert min(outside_values) > 0.3, "outside curve has no GTL-like dip"
+    assert 0.5 < sum(outside_values) / len(outside_values) < 1.3

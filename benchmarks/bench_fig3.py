@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 3 (density-aware GTL-Score curves).
+
+Asserts the paper's claim that the GTL-SD minimum contrast is more dramatic
+than the nGTL-Score contrast on the same workload.
+"""
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3(benchmark, once):
+    kwargs = dict(num_cells=12_000, gtl_size=2000, seed=2010)
+    result = benchmark.pedantic(run_fig3, kwargs=kwargs, **once)
+    print("\n" + result.render())
+
+    sd_inside = result.series["seed inside GTL"]
+    sd_min_size, sd_min = min(sd_inside, key=lambda p: p[1])
+    assert sd_min < 0.05
+    assert abs(sd_min_size - 2000) <= 40
+
+    ngtl = run_fig2(**kwargs)
+    ngtl_min = min(v for _, v in ngtl.series["seed inside GTL"])
+    assert sd_min < ngtl_min, "density awareness sharpens the minimum"

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 4 (GTLs cluster spatially in the placement).
+
+Asserts that every found GTL is substantially more compact on the placed
+die than random same-size cell groups — the quantitative form of the
+paper's colored-clot plot.
+"""
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4(benchmark, once):
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs=dict(scale=0.15, num_seeds=32, seed=2010, show_map=False),
+        **once,
+    )
+    print("\n" + result.render())
+
+    assert result.rows, "at least one GTL must be found"
+    for row in result.rows:
+        compactness = row[4]
+        assert compactness > 1.5, (
+            "a found GTL is placed much more compactly than a random group"
+        )

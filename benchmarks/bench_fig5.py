@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 5 (metric comparison along one ordering).
+
+Asserts the paper's three curve behaviours: interior shared minimum for the
+GTL metrics, right-end minimum for ratio cut, nGTL-Score hovering near 1.
+"""
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5(benchmark, once):
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs=dict(scale=0.5, seed=2010, probe_seeds=24),
+        **once,
+    )
+    print("\n" + result.render())
+
+    ngtl = result.series["nGTL-S"]
+    sd = result.series["GTL-SD"]
+    ratio = result.series["ratio-cut"]
+    length = ngtl[-1][0]
+
+    n_min_size = min(ngtl, key=lambda p: p[1])[0]
+    d_min_size = min(sd, key=lambda p: p[1])[0]
+    r_min_size = min(ratio, key=lambda p: p[1])[0]
+
+    assert n_min_size < 0.9 * length, "nGTL-S minimum is interior"
+    assert abs(n_min_size - d_min_size) <= 0.05 * length, (
+        "both GTL metrics identify the same structure"
+    )
+    assert r_min_size >= 0.9 * length, "ratio-cut minimum sits at the right end"
+
+    mean_ngtl = sum(v for _, v in ngtl) / len(ngtl)
+    assert 0.6 < mean_ngtl < 1.5, "nGTL-Score values are mostly around 1"

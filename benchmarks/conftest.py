@@ -1,0 +1,17 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+laptop-scale configuration and asserts the paper's qualitative shape.  Each
+harness runs once per benchmark round (``rounds=1``) because the workloads
+are themselves multi-second pipelines, not microbenchmarks.
+"""
+
+import pytest
+
+ROUNDS = dict(rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    """Benchmark keyword arguments for one-shot pipeline measurements."""
+    return ROUNDS

@@ -1,0 +1,43 @@
+"""Quickstart: find tangled logic in a graph with a known planted structure.
+
+Generates a 10K-cell random hypergraph containing one 800-cell group that
+is far more interconnected internally than externally, runs the paper's
+three-phase finder, and checks the result against the ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FinderConfig, find_tangled_logic
+from repro.generators import planted_gtl_graph
+
+
+def main() -> None:
+    netlist, ground_truth = planted_gtl_graph(
+        num_cells=10_000, gtl_sizes=[800], seed=42
+    )
+    print(f"generated {netlist} with one planted 800-cell GTL")
+
+    config = FinderConfig(
+        num_seeds=32,  # independent random seed runs (paper: 100)
+        metric="gtl_sd",  # density-aware GTL-Score for Phase II minima
+        seed=7,  # reproducible run
+    )
+    report = find_tangled_logic(netlist, config)
+    print(report.summary())
+
+    planted = ground_truth[0]
+    best = max(report.gtls, key=lambda g: len(g.cells & planted))
+    missed = len(planted - best.cells)
+    extra = len(best.cells - planted)
+    print(
+        f"\nbest match vs ground truth: found {best.size} cells, "
+        f"missed {missed}, extra {extra}"
+    )
+    print(
+        f"scores: nGTL-S={best.ngtl_score:.4f}, GTL-SD={best.gtl_sd_score:.4f} "
+        f"(an average-quality group scores ~1; below ~0.1 is a strong GTL)"
+    )
+
+
+if __name__ == "__main__":
+    main()

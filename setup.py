@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package and no network access, so PEP 517
+editable installs (which need ``bdist_wheel``) fail.  This shim enables the
+legacy path: ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "Detecting Tangled Logic Structures in VLSI
+Netlists" (Jindal et al., DAC 2010).
+
+Public API highlights:
+
+* :class:`~repro.netlist.Netlist` / :class:`~repro.netlist.NetlistBuilder` —
+  hypergraph netlists.
+* :func:`~repro.finder.find_tangled_logic` — run the paper's three-phase
+  GTL finder.
+* :mod:`repro.metrics` — nGTL-Score, density-aware GTL-Score, and all the
+  baseline cluster metrics.
+* :mod:`repro.generators` — planted random graphs, gate-level structures,
+  ISPD-like and industrial-like designs.
+* :mod:`repro.placement` / :mod:`repro.routing` — the placement and
+  congestion substrates used by the routability experiments.
+* :mod:`repro.experiments` — one harness per table/figure of the paper.
+"""
+
+from repro.errors import (
+    FinderError,
+    GenerationError,
+    MetricError,
+    NetlistError,
+    ParseError,
+    PlacementError,
+    ReproError,
+    ValidationError,
+)
+from repro.netlist import Netlist, NetlistBuilder
+from repro.finder import (
+    GTL,
+    FinderConfig,
+    FinderReport,
+    TangledLogicFinder,
+    find_tangled_logic,
+)
+from repro.metrics import (
+    ScoreContext,
+    density_aware_gtl_score,
+    gtl_score,
+    normalized_gtl_score,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "ValidationError",
+    "ParseError",
+    "MetricError",
+    "FinderError",
+    "PlacementError",
+    "GenerationError",
+    "Netlist",
+    "NetlistBuilder",
+    "GTL",
+    "FinderConfig",
+    "FinderReport",
+    "TangledLogicFinder",
+    "find_tangled_logic",
+    "ScoreContext",
+    "gtl_score",
+    "normalized_gtl_score",
+    "density_aware_gtl_score",
+    "__version__",
+]

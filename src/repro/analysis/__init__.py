@@ -1,0 +1,28 @@
+"""Analysis utilities: metric curves, ground-truth overlap, CSV output."""
+
+from repro.analysis.curves import MetricCurve, agglomeration_curve, metric_comparison_curves
+from repro.analysis.overlap import GTLMatch, match_to_ground_truth, miss_rate, over_rate
+from repro.analysis.report import write_csv
+from repro.analysis.visualize import (
+    congestion_image,
+    placement_image,
+    save_congestion_ppm,
+    save_placement_ppm,
+    write_ppm,
+)
+
+__all__ = [
+    "MetricCurve",
+    "agglomeration_curve",
+    "metric_comparison_curves",
+    "GTLMatch",
+    "match_to_ground_truth",
+    "miss_rate",
+    "over_rate",
+    "write_csv",
+    "congestion_image",
+    "placement_image",
+    "save_congestion_ppm",
+    "save_placement_ppm",
+    "write_ppm",
+]

@@ -1,0 +1,94 @@
+"""Ground-truth comparison: miss and over rates (Table 1 columns 9-10).
+
+The paper reports, per planted GTL, the percentage of nodes in the known
+GTL missed by the found solution and the percentage of extra nodes included
+by the solution (relative to the known GTL's size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.finder.result import GTL
+
+
+def miss_rate(truth: FrozenSet[int], found: Iterable[int]) -> float:
+    """Fraction of ``truth`` cells absent from ``found``."""
+    found_set = set(found)
+    if not truth:
+        return 0.0
+    return len(truth - found_set) / len(truth)
+
+
+def over_rate(truth: FrozenSet[int], found: Iterable[int]) -> float:
+    """Extra cells in ``found`` as a fraction of the truth size."""
+    found_set = set(found)
+    if not truth:
+        return 0.0
+    return len(found_set - truth) / len(truth)
+
+
+@dataclass(frozen=True)
+class GTLMatch:
+    """Best found GTL for one ground-truth block.
+
+    Attributes:
+        truth: the planted block.
+        found: the matched GTL (None when nothing overlapped).
+        miss: miss rate (1.0 when unmatched).
+        over: over-inclusion rate (0.0 when unmatched).
+    """
+
+    truth: FrozenSet[int]
+    found: Optional[GTL]
+    miss: float
+    over: float
+
+    @property
+    def detected(self) -> bool:
+        """True when a found GTL covers at least half the block."""
+        return self.found is not None and self.miss < 0.5
+
+
+def match_to_ground_truth(
+    ground_truth: Sequence[FrozenSet[int]], gtls: Sequence[GTL]
+) -> List[GTLMatch]:
+    """Greedily match found GTLs to planted blocks by overlap size.
+
+    Each found GTL is assigned to at most one block and vice versa; blocks
+    are processed in descending best-overlap order so large, unambiguous
+    matches win first.
+    """
+    pairs = []
+    for t_index, truth in enumerate(ground_truth):
+        for g_index, gtl in enumerate(gtls):
+            overlap = len(truth & gtl.cells)
+            if overlap:
+                pairs.append((overlap, t_index, g_index))
+    pairs.sort(reverse=True)
+
+    matched_truth = {}
+    used_gtls = set()
+    for overlap, t_index, g_index in pairs:
+        if t_index in matched_truth or g_index in used_gtls:
+            continue
+        matched_truth[t_index] = g_index
+        used_gtls.add(g_index)
+
+    result: List[GTLMatch] = []
+    for t_index, truth in enumerate(ground_truth):
+        g_index = matched_truth.get(t_index)
+        if g_index is None:
+            result.append(GTLMatch(truth=truth, found=None, miss=1.0, over=0.0))
+        else:
+            gtl = gtls[g_index]
+            result.append(
+                GTLMatch(
+                    truth=truth,
+                    found=gtl,
+                    miss=miss_rate(truth, gtl.cells),
+                    over=over_rate(truth, gtl.cells),
+                )
+            )
+    return result

@@ -1,0 +1,15 @@
+"""CSV output for experiment series (figures are emitted as data files)."""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Sequence
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Write ``rows`` under ``headers`` to ``path`` as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))

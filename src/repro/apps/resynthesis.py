@@ -1,0 +1,123 @@
+"""Logic re-synthesis of GTLs (paper, Chapter I).
+
+"Prior to placement, a GTL could be resynthesized or re-instantiated to
+utilize more area, but less interconnect, thereby reducing potential
+hotspots.  Applying this technique to a small fraction of the design will
+not increase area dramatically."
+
+Synthesis packs function into pin-dense complex cells (NAND4, AOI22, ...);
+re-instantiation reverses that: each wide gate becomes a tree of 2-input
+gates plus inverters.  The cell count and area grow, the *pin density per
+unit area falls*, and — decisive for routing — each original k-pin net's
+load is split across the tree, shortening the wiring concentrated on one
+spot.  We model this structurally: gates with more than 2 inputs are
+decomposed into balanced 2-input trees whose intermediate wires become new
+2-pin nets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import PlacementError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.hypergraph import Netlist
+
+
+def decompose_complex_gates(
+    netlist: Netlist,
+    cells: Iterable[int],
+    max_fanin: int = 2,
+    stage_area: float = 0.9,
+) -> Tuple[Netlist, Dict[int, List[int]]]:
+    """Decompose the selected wide gates into trees of simple gates.
+
+    A selected cell with ``d`` incident nets is interpreted as a gate with
+    ``d - 1`` inputs and one output.  If it has more than ``max_fanin``
+    inputs it is replaced by a balanced tree of ``max_fanin``-input stages:
+    the first stage cells take over the original input nets, intermediate
+    2-pin nets connect the stages, and the root keeps the output net.
+
+    Args:
+        netlist: the design.
+        cells: cells to re-instantiate (typically a found GTL).
+        max_fanin: maximum inputs per decomposed stage (>= 2).
+        stage_area: area of each new stage cell.
+
+    Returns:
+        ``(new_netlist, mapping)`` where ``mapping[old_cell]`` lists the new
+        cell indices that replaced it (a single-entry list when the cell was
+        left intact).
+    """
+    if max_fanin < 2:
+        raise PlacementError("max_fanin must be >= 2")
+    selected: Set[int] = set(cells)
+    for cell in selected:
+        if not 0 <= cell < netlist.num_cells:
+            raise PlacementError(f"cell index {cell} out of range")
+
+    builder = NetlistBuilder()
+    mapping: Dict[int, List[int]] = {}
+    # net -> list of new cells attached to it
+    net_members: Dict[int, List[int]] = {n: [] for n in range(netlist.num_nets)}
+    extra_nets: List[Tuple[str, List[int]]] = []
+
+    for cell in range(netlist.num_cells):
+        view = netlist.cell(cell)
+        nets = list(netlist.nets_of_cell(cell))
+        decompose = (
+            cell in selected and not view.fixed and len(nets) > max_fanin + 1
+        )
+        if not decompose:
+            index = builder.add_cell(
+                name=view.name,
+                area=view.area,
+                pin_count=view.pin_count,
+                fixed=view.fixed,
+            )
+            mapping[cell] = [index]
+            for net in nets:
+                net_members[net].append(index)
+            continue
+
+        # Inputs = all nets but the last (the output); build a tree.
+        *input_nets, output_net = nets
+        level_handles: List[Tuple[str, int]] = [("net", n) for n in input_nets]
+        serial = 0
+        while len(level_handles) > 1:
+            next_level: List[Tuple[str, int]] = []
+            for base in range(0, len(level_handles), max_fanin):
+                chunk = level_handles[base : base + max_fanin]
+                if len(chunk) == 1:
+                    next_level.append(chunk[0])
+                    continue
+                stage = builder.add_cell(
+                    name=f"{view.name}__rs{serial}",
+                    area=stage_area,
+                    pin_count=len(chunk) + 1,
+                )
+                serial += 1
+                mapping.setdefault(cell, []).append(stage)
+                for kind, handle in chunk:
+                    if kind == "net":
+                        net_members[handle].append(stage)
+                    else:
+                        extra_nets[handle][1].append(stage)
+                if len(level_handles) <= max_fanin:
+                    # This stage is the root: it drives the output net.
+                    net_members[output_net].append(stage)
+                    next_level.append(("root", stage))
+                else:
+                    wire_index = len(extra_nets)
+                    extra_nets.append((f"{view.name}__rw{wire_index}", [stage]))
+                    next_level.append(("wire", wire_index))
+            level_handles = next_level
+
+    for net in range(netlist.num_nets):
+        members = net_members[net]
+        if members:
+            builder.add_net(netlist.net_name(net), members)
+    for name, members in extra_nets:
+        if len(members) >= 2:
+            builder.add_net(name, members)
+    return builder.build(), mapping

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``find-gtl``     — run the tangled-logic finder on a Bookshelf / hgr /
+  edge-list design and print the report.
+* ``generate``     — synthesize a workload (planted graph, ISPD-like,
+  industrial-like) and write it to disk.
+* ``experiment``   — run one of the paper's table/figure harnesses.
+
+Examples::
+
+    tangled-logic find-gtl design.aux --seeds 100 --metric gtl_sd
+    tangled-logic generate ispd --scale 0.25 --out bench/
+    tangled-logic experiment table1 --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.finder import FinderConfig, find_tangled_logic
+from repro.netlist.hypergraph import Netlist
+
+
+def _load_design(path: str) -> Netlist:
+    lower = path.lower()
+    if lower.endswith(".aux"):
+        from repro.io.bookshelf import read_bookshelf
+
+        netlist, _ = read_bookshelf(path)
+        return netlist
+    if lower.endswith(".hgr"):
+        from repro.io.hgr import read_hgr
+
+        return read_hgr(path)
+    from repro.io.edgelist import read_edgelist
+
+    return read_edgelist(path)
+
+
+def _cmd_find_gtl(args: argparse.Namespace) -> int:
+    netlist = _load_design(args.design)
+    config = FinderConfig(
+        num_seeds=args.seeds,
+        metric=args.metric,
+        max_order_length=args.max_order_length,
+        min_gtl_size=args.min_size,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    report = find_tangled_logic(netlist, config)
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w") as handle:
+            for index, gtl in enumerate(report.gtls):
+                names = " ".join(netlist.cell_name(c) for c in sorted(gtl.cells))
+                handle.write(f"GTL {index + 1} size={gtl.size} cut={gtl.cut} "
+                             f"ngtl={gtl.ngtl_score:.4f} gtl_sd={gtl.gtl_sd_score:.4f}\n")
+                handle.write(names + "\n")
+        print(f"wrote {report.num_gtls} GTL(s) to {args.out}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.io.bookshelf import write_bookshelf
+
+    if args.kind == "planted":
+        from repro.generators.random_gtl import planted_gtl_graph
+
+        netlist, truth = planted_gtl_graph(
+            args.cells, args.gtl_sizes or [max(50, args.cells // 20)], seed=args.seed
+        )
+        print(f"planted blocks: {[len(t) for t in truth]}")
+    elif args.kind == "ispd":
+        from repro.generators.ispd_like import default_bigblue1_like, generate_ispd_like
+
+        netlist, truth = generate_ispd_like(
+            default_bigblue1_like(args.scale), seed=args.seed
+        )
+        print(f"embedded structures: {{name: size}} = "
+              f"{ {k: len(v) for k, v in truth.items()} }")
+    elif args.kind == "industrial":
+        from repro.generators.industrial import IndustrialSpec, generate_industrial
+
+        netlist, truth = generate_industrial(IndustrialSpec(), seed=args.seed)
+        print(f"dissolved ROM blocks: {[len(t) for t in truth]}")
+    else:
+        raise ReproError(f"unknown workload kind {args.kind!r}")
+
+    aux = write_bookshelf(netlist, args.out, args.kind)
+    print(f"{netlist} -> {aux}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+
+    runner = getattr(experiments, f"run_{args.which}", None)
+    if runner is None:
+        raise ReproError(f"unknown experiment {args.which!r}")
+    kwargs = {}
+    if args.scale is not None and args.which in ("table1", "table2", "fig4", "fig5"):
+        kwargs["scale"] = args.scale
+    if args.seeds is not None and args.which not in ("fig2", "fig3", "fig5"):
+        kwargs["num_seeds"] = args.seeds
+    result = runner(**kwargs)
+    print(result.render())
+    if args.csv:
+        result.write_series_csv(args.csv)
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.netlist.stats import netlist_stats
+
+    netlist = _load_design(args.design)
+    print(netlist_stats(netlist).render())
+    if args.rent:
+        from repro.finder.candidate import scan_ordering
+        from repro.finder.ordering import grow_linear_ordering
+        from repro.metrics.rent import estimate_rent_exponent_from_prefixes
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(args.seed)
+        movable = netlist.movable_cells()
+        estimates = []
+        for _ in range(min(4, len(movable))):
+            seed_cell = rng.choice(movable)
+            ordering = grow_linear_ordering(
+                netlist, seed_cell, min(5000, max(64, netlist.num_cells // 4))
+            )
+            estimates.append(
+                estimate_rent_exponent_from_prefixes(scan_ordering(netlist, ordering))
+            )
+        print(
+            f"\nRent exponent (ordering estimator, {len(estimates)} seeds): "
+            f"{sum(estimates) / len(estimates):.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="tangled-logic",
+        description="Detecting tangled logic structures in VLSI netlists "
+        "(DAC 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    find = sub.add_parser("find-gtl", help="run the finder on a design file")
+    find.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")
+    find.add_argument("--seeds", type=int, default=100)
+    find.add_argument("--metric", choices=("gtl_s", "ngtl_s", "gtl_sd"), default="gtl_sd")
+    find.add_argument("--max-order-length", type=int, default=0)
+    find.add_argument("--min-size", type=int, default=30)
+    find.add_argument("--workers", type=int, default=1)
+    find.add_argument("--seed", type=int, default=None)
+    find.add_argument("--out", default="", help="write found GTL membership here")
+    find.set_defaults(func=_cmd_find_gtl)
+
+    gen = sub.add_parser("generate", help="synthesize a workload")
+    gen.add_argument("kind", choices=("planted", "ispd", "industrial"))
+    gen.add_argument("--cells", type=int, default=10_000)
+    gen.add_argument("--gtl-sizes", type=int, nargs="*", default=None)
+    gen.add_argument("--scale", type=float, default=0.25)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("--out", default="generated")
+    gen.set_defaults(func=_cmd_generate)
+
+    exp = sub.add_parser("experiment", help="run a paper table/figure harness")
+    exp.add_argument(
+        "which",
+        choices=(
+            "table1",
+            "table2",
+            "table3",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+        ),
+    )
+    exp.add_argument("--scale", type=float, default=None)
+    exp.add_argument("--seeds", type=int, default=None)
+    exp.add_argument("--csv", default="", help="write figure series to CSV")
+    exp.set_defaults(func=_cmd_experiment)
+
+    stats = sub.add_parser("stats", help="profile a design file")
+    stats.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")
+    stats.add_argument("--rent", action="store_true", help="estimate the Rent exponent")
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

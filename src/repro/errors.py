@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` package."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (unknown cell, bad net, ...)."""
+
+
+class ValidationError(NetlistError):
+    """A netlist failed an explicit consistency check."""
+
+
+class ParseError(ReproError):
+    """A file in a supported interchange format could not be parsed."""
+
+    def __init__(self, message: str, path: str = "", line: int = 0):
+        location = ""
+        if path:
+            location = f"{path}:{line}: " if line else f"{path}: "
+        super().__init__(f"{location}{message}")
+        self.path = path
+        self.line = line
+
+
+class MetricError(ReproError):
+    """A metric was evaluated on an invalid group (empty, whole netlist, ...)."""
+
+
+class FinderError(ReproError):
+    """The tangled-logic finder was misconfigured or hit an invalid state."""
+
+
+class PlacementError(ReproError):
+    """Placement could not be computed (no pads, singular system, ...)."""
+
+
+class GenerationError(ReproError):
+    """A synthetic workload generator received inconsistent parameters."""

@@ -1,0 +1,44 @@
+"""Experiment harnesses — one per table and figure of the paper.
+
+Every harness is a ``run_*`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` whose ``render()``
+prints the same rows/series the paper reports.  Scales default to
+laptop-size workloads; pass ``scale=1.0`` (and the paper's seed counts) to
+approach paper scale.
+
+| Paper artifact | Harness |
+|----------------|---------|
+| Table 1        | :func:`repro.experiments.table1.run_table1` |
+| Table 2        | :func:`repro.experiments.table2.run_table2` |
+| Table 3        | :func:`repro.experiments.table3.run_table3` |
+| Figure 2       | :func:`repro.experiments.fig2.run_fig2` |
+| Figure 3       | :func:`repro.experiments.fig3.run_fig3` |
+| Figure 4       | :func:`repro.experiments.fig4.run_fig4` |
+| Figure 5       | :func:`repro.experiments.fig5.run_fig5` |
+| Figures 1+6    | :func:`repro.experiments.fig6.run_fig6` |
+| Figure 7       | :func:`repro.experiments.fig7.run_fig7` |
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+
+__all__ = [
+    "ExperimentResult",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+]

@@ -1,0 +1,139 @@
+"""Phase II — initial candidate GTL generation (Section 3.2.2 / II.1-II.4).
+
+Every prefix ``C_k`` of a linear ordering is scored with a GTL metric; the
+prefix at the *clear minimum* of the score-versus-k curve becomes the
+candidate.  The Rent exponent used by the scores is estimated from the same
+ordering by averaging the per-prefix estimate
+``(ln T(C) - ln A_C) / ln |C|`` (the paper's estimator).
+
+A minimum qualifies as *clear* when (i) the prefix is at least
+``min_gtl_size`` cells, (ii) its score is below ``clear_min_threshold``
+(average groups score ~1) and (iii) it occurs before ``boundary_fraction``
+of the ordering — a minimum at the right end means the curve was still
+descending, which is the ratio-cut failure mode, not a GTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import FinderError
+from repro.finder.config import FinderConfig
+from repro.metrics.gtl_score import ScoreContext
+from repro.metrics.rent import estimate_rent_exponent_from_prefixes
+from repro.netlist.hypergraph import Netlist
+from repro.netlist.ops import GroupStats, PrefixScanner
+
+
+@dataclass(frozen=True)
+class CandidateGTL:
+    """A candidate produced by Phase II.
+
+    Attributes:
+        cells: the member cells (frozen).
+        score: value of the configured metric at the minimum.
+        stats: group statistics at the minimum.
+        rent_exponent: the ordering-local Rent exponent used for scoring.
+        seed: the seed cell the ordering was grown from.
+    """
+
+    cells: frozenset
+    score: float
+    stats: GroupStats
+    rent_exponent: float
+    seed: int
+
+    @property
+    def size(self) -> int:
+        """|C| of the candidate."""
+        return len(self.cells)
+
+
+def scan_ordering(netlist: Netlist, ordering: Sequence[int]) -> List[GroupStats]:
+    """Per-prefix :class:`GroupStats` for ``ordering`` (linear total work)."""
+    scanner = PrefixScanner(netlist)
+    stats: List[GroupStats] = []
+    for cell in ordering:
+        scanner.add(cell)
+        stats.append(scanner.stats())
+    return stats
+
+
+def score_curve(
+    netlist: Netlist,
+    ordering: Sequence[int],
+    metric: str,
+    rent_exponent: Optional[float] = None,
+    rent_min_prefix: int = 8,
+) -> Tuple[List[float], float]:
+    """Score every prefix of ``ordering``.
+
+    Returns ``(scores, rent_exponent)`` where the exponent is estimated from
+    the ordering itself when not supplied.
+    """
+    prefix_stats = scan_ordering(netlist, ordering)
+    if rent_exponent is None:
+        rent_exponent = estimate_rent_exponent_from_prefixes(
+            prefix_stats, min_size=rent_min_prefix
+        )
+    context = ScoreContext.for_netlist(netlist, rent_exponent, metric=metric)
+    return context.score_all(prefix_stats), rent_exponent
+
+
+def extract_candidate(
+    netlist: Netlist,
+    ordering: Sequence[int],
+    config: FinderConfig,
+    seed: Optional[int] = None,
+    rent_exponent: Optional[float] = None,
+) -> Optional[CandidateGTL]:
+    """Run Phase II on one ordering; ``None`` when no clear minimum exists.
+
+    Args:
+        netlist: host netlist.
+        ordering: Phase I linear ordering (seed first).
+        config: finder configuration (metric, thresholds).
+        seed: seed cell recorded on the candidate (defaults to
+            ``ordering[0]``).
+        rent_exponent: force a Rent exponent instead of estimating it from
+            the ordering (used by Phase III so a candidate family is scored
+            consistently).
+    """
+    if not ordering:
+        raise FinderError("extract_candidate on an empty ordering")
+    if seed is None:
+        seed = ordering[0]
+    if len(ordering) < config.min_gtl_size:
+        return None
+
+    prefix_stats = scan_ordering(netlist, ordering)
+    if rent_exponent is None:
+        rent_exponent = estimate_rent_exponent_from_prefixes(
+            prefix_stats, min_size=config.rent_min_prefix
+        )
+    context = ScoreContext.for_netlist(netlist, rent_exponent, metric=config.metric)
+
+    best_index = -1
+    best_score = float("inf")
+    for index in range(config.min_gtl_size - 1, len(ordering)):
+        score = context.score(prefix_stats[index])
+        if score < best_score:
+            best_score = score
+            best_index = index
+
+    if best_index < 0:
+        return None
+    if best_score >= config.clear_min_threshold:
+        return None  # no clear minimum: curve never dips below threshold
+    boundary = int(config.boundary_fraction * len(ordering))
+    if best_index + 1 > boundary:
+        return None  # minimum at the right end: still descending
+
+    return CandidateGTL(
+        cells=frozenset(ordering[: best_index + 1]),
+        score=best_score,
+        stats=prefix_stats[best_index],
+        rent_exponent=rent_exponent,
+        seed=seed,
+    )

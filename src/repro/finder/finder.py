@@ -1,0 +1,204 @@
+"""The full tangled-logic finder pipeline (Algorithm, Chapter IV).
+
+Each random seed runs Phases I-III independently — the paper exploits this
+with 8 pthreads; here seed runs are distributed over a process pool when
+``config.workers > 1`` (default serial, which is deterministic and has no
+pickling overhead for small designs).
+
+Rent-exponent handling: Phase II estimates a Rent exponent per ordering (the
+paper's estimator).  The finder averages those into a netlist-level exponent
+and re-scores every refined candidate with it before pruning, so overlapping
+candidates from different seeds are compared on one consistent scale.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import FinderError
+from repro.finder.candidate import CandidateGTL, extract_candidate
+from repro.finder.config import FinderConfig
+from repro.finder.ordering import grow_linear_ordering
+from repro.finder.prune import prune_overlapping
+from repro.finder.refine import refine_candidate
+from repro.finder.result import GTL, FinderReport
+from repro.metrics.gtl_score import ScoreContext
+from repro.netlist.hypergraph import Netlist
+from repro.netlist.ops import group_stats
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer
+
+# One seed's outcome: (refined candidate or None, ordering Rent estimate,
+# number of orderings grown).
+_SeedOutcome = Tuple[Optional[CandidateGTL], float, int]
+
+
+def _process_seed(
+    netlist: Netlist, config: FinderConfig, seed_cell: int, rng_seed: int
+) -> _SeedOutcome:
+    """Run Phases I-III for one seed cell (independent unit of work)."""
+    max_length = config.resolve_order_length(netlist.num_cells)
+    ordering = grow_linear_ordering(
+        netlist,
+        seed_cell,
+        max_length,
+        lambda_skip=config.lambda_skip,
+        exclude_fixed=config.exclude_fixed,
+    )
+    candidate = extract_candidate(netlist, ordering, config, seed=seed_cell)
+    orderings_grown = 1
+    if candidate is None:
+        # Still recover the ordering's Rent estimate for the global average.
+        from repro.finder.candidate import scan_ordering
+        from repro.metrics.rent import estimate_rent_exponent_from_prefixes
+
+        prefix_stats = scan_ordering(netlist, ordering)
+        rent = estimate_rent_exponent_from_prefixes(
+            prefix_stats, min_size=config.rent_min_prefix
+        )
+        return None, rent, orderings_grown
+
+    refined = refine_candidate(
+        netlist,
+        candidate,
+        config,
+        rent_exponent=candidate.rent_exponent,
+        rng=rng_seed,
+    )
+    orderings_grown += config.refine_count
+    return refined, candidate.rent_exponent, orderings_grown
+
+
+def _process_batch(
+    netlist: Netlist, config: FinderConfig, jobs: Sequence[Tuple[int, int]]
+) -> List[_SeedOutcome]:
+    """Process several ``(seed_cell, rng_seed)`` jobs in one worker."""
+    return [_process_seed(netlist, config, cell, rng) for cell, rng in jobs]
+
+
+class TangledLogicFinder:
+    """Finds all groups of tangled logic in a netlist.
+
+    >>> from repro.generators import planted_gtl_graph
+    >>> netlist, truth = planted_gtl_graph(2000, [200], seed=1)
+    >>> report = TangledLogicFinder(netlist, FinderConfig(num_seeds=8, seed=1)).run()
+    >>> report.num_gtls >= 1
+    True
+    """
+
+    def __init__(self, netlist: Netlist, config: Optional[FinderConfig] = None):
+        if netlist.num_cells < 2:
+            raise FinderError("netlist too small for GTL detection")
+        self.netlist = netlist
+        self.config = config or FinderConfig()
+
+    # ------------------------------------------------------------------
+    def run(self) -> FinderReport:
+        """Execute Phases I-III for all seeds and return the report."""
+        config = self.config
+        with Timer() as timer:
+            seed_cells = self._draw_seed_cells()
+            rng = ensure_rng(config.seed)
+            jobs = [(cell, rng.randrange(2**63)) for cell in seed_cells]
+
+            if config.workers > 1 and len(jobs) > 1:
+                outcomes = self._run_parallel(jobs)
+            else:
+                outcomes = _process_batch(self.netlist, config, jobs)
+
+            candidates = [c for c, _, _ in outcomes if c is not None]
+            rents = [p for _, p, _ in outcomes]
+            orderings = sum(n for _, _, n in outcomes)
+            global_rent = sum(rents) / len(rents) if rents else 0.6
+
+            rescored = [self._rescore(c, global_rent) for c in candidates]
+            kept = prune_overlapping(rescored)
+            gtls = tuple(self._to_gtl(c, global_rent) for c in kept)
+
+        return FinderReport(
+            gtls=gtls,
+            config=config,
+            rent_exponent=global_rent,
+            num_orderings=orderings,
+            num_candidates=len(candidates),
+            runtime_seconds=timer.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _draw_seed_cells(self) -> List[int]:
+        from repro.finder.seeding import draw_seeds
+
+        config = self.config
+        if config.exclude_fixed:
+            eligible = self.netlist.movable_cells()
+        else:
+            eligible = list(range(self.netlist.num_cells))
+        if not eligible:
+            raise FinderError("no eligible seed cells (all cells fixed?)")
+        return draw_seeds(
+            self.netlist,
+            eligible,
+            config.num_seeds,
+            strategy=config.seed_strategy,
+            rng=ensure_rng(config.seed),
+        )
+
+    def _run_parallel(self, jobs: List[Tuple[int, int]]) -> List[_SeedOutcome]:
+        config = self.config
+        workers = min(config.workers, len(jobs))
+        chunks: List[List[Tuple[int, int]]] = [[] for _ in range(workers)]
+        for index, job in enumerate(jobs):
+            chunks[index % workers].append(job)
+        outcomes: List[_SeedOutcome] = []
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_process_batch, self.netlist, config, chunk)
+                for chunk in chunks
+                if chunk
+            ]
+            for future in futures:
+                outcomes.extend(future.result())
+        return outcomes
+
+    def _rescore(self, candidate: CandidateGTL, rent: float) -> CandidateGTL:
+        context = ScoreContext.for_netlist(
+            self.netlist, rent, metric=self.config.metric
+        )
+        stats = candidate.stats
+        return CandidateGTL(
+            cells=candidate.cells,
+            score=context.score(stats),
+            stats=stats,
+            rent_exponent=rent,
+            seed=candidate.seed,
+        )
+
+    def _to_gtl(self, candidate: CandidateGTL, rent: float) -> GTL:
+        stats = group_stats(self.netlist, candidate.cells)
+        ngtl = ScoreContext.for_netlist(self.netlist, rent, metric="ngtl_s")
+        gtl_sd = ScoreContext.for_netlist(self.netlist, rent, metric="gtl_sd")
+        return GTL(
+            cells=candidate.cells,
+            size=stats.size,
+            cut=stats.cut,
+            ngtl_score=ngtl.score(stats),
+            gtl_sd_score=gtl_sd.score(stats),
+            score=candidate.score,
+            seed=candidate.seed,
+            rent_exponent=rent,
+        )
+
+
+def find_tangled_logic(
+    netlist: Netlist, config: Optional[FinderConfig] = None, **overrides
+) -> FinderReport:
+    """One-call convenience API.
+
+    ``overrides`` are applied on top of ``config`` (or the defaults), e.g.
+    ``find_tangled_logic(netlist, num_seeds=100, seed=42)``.
+    """
+    base = config or FinderConfig()
+    if overrides:
+        base = base.with_overrides(**overrides)
+    return TangledLogicFinder(netlist, base).run()

@@ -1,0 +1,39 @@
+"""Phase III (second half) — overlap pruning (steps III.15-III.22).
+
+Refined candidates from different seeds often describe the same structure.
+Candidates are visited best-score-first; a candidate is kept only when it is
+disjoint from everything already kept.  The survivors are the final,
+mutually disjoint set of GTLs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.finder.candidate import CandidateGTL
+
+
+def prune_overlapping(candidates: Sequence[CandidateGTL]) -> List[CandidateGTL]:
+    """Greedy best-first disjoint selection.
+
+    Candidates with identical member sets are collapsed first; then the
+    survivors are scanned in ascending score order (ties broken by larger
+    size, then by seed for determinism) and kept when disjoint from all
+    previously kept candidates.
+    """
+    unique = {}
+    for candidate in candidates:
+        existing = unique.get(candidate.cells)
+        if existing is None or candidate.score < existing.score:
+            unique[candidate.cells] = candidate
+
+    ranked = sorted(
+        unique.values(), key=lambda c: (c.score, -c.size, c.seed)
+    )
+    kept: List[CandidateGTL] = []
+    occupied: Set[int] = set()
+    for candidate in ranked:
+        if occupied.isdisjoint(candidate.cells):
+            kept.append(candidate)
+            occupied.update(candidate.cells)
+    return kept

@@ -1,0 +1,68 @@
+"""Synthetic workload generators.
+
+* :mod:`repro.generators.random_gtl` — random hypergraphs with planted GTLs
+  and full ground truth (Table 1, Figs 2-3).
+* :mod:`repro.generators.circuit_builder` — gate library and wiring builder
+  for gate-level netlists.
+* :mod:`repro.generators.structures` — logic structures (adders, decoders,
+  mux trees, ROMs, multipliers, glue logic).
+* :mod:`repro.generators.ispd_like` — ISPD-05/06-shaped placement
+  benchmarks with embedded structures (Table 2, Figs 4-5 substitute).
+* :mod:`repro.generators.industrial` — an "industrial" design whose GTLs
+  are dissolved ROM blocks (Table 3, Figs 1/6/7 substitute).
+"""
+
+from repro.generators.random_gtl import (
+    DEFAULT_NET_DEGREES,
+    PlantedGraphSpec,
+    planted_gtl_graph,
+)
+from repro.generators.circuit_builder import (
+    Gate,
+    GateLibrary,
+    CircuitBuilder,
+    DEFAULT_LIBRARY,
+)
+from repro.generators.structures import (
+    StructurePorts,
+    build_carry_lookahead_adder,
+    build_decoder,
+    build_dissolved_rom,
+    build_multiplier,
+    build_mux_tree,
+    build_random_glue,
+    build_ripple_carry_adder,
+)
+from repro.generators.ispd_like import (
+    EmbeddedStructure,
+    IspdLikeSpec,
+    default_bigblue1_like,
+    generate_ispd_like,
+)
+from repro.generators.industrial import IndustrialSpec, generate_industrial
+from repro.generators.perturb import rewire_pins
+
+__all__ = [
+    "DEFAULT_NET_DEGREES",
+    "PlantedGraphSpec",
+    "planted_gtl_graph",
+    "Gate",
+    "GateLibrary",
+    "CircuitBuilder",
+    "DEFAULT_LIBRARY",
+    "StructurePorts",
+    "build_carry_lookahead_adder",
+    "build_decoder",
+    "build_dissolved_rom",
+    "build_multiplier",
+    "build_mux_tree",
+    "build_random_glue",
+    "build_ripple_carry_adder",
+    "EmbeddedStructure",
+    "IspdLikeSpec",
+    "default_bigblue1_like",
+    "generate_ispd_like",
+    "IndustrialSpec",
+    "generate_industrial",
+    "rewire_pins",
+]

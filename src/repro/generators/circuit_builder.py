@@ -1,0 +1,237 @@
+"""Gate library and wire-level circuit builder.
+
+The paper's motivation is gate-level: synthesis maps logic to standard cells
+(NAND4, AOI, OAI, ...) whose pin counts drive the density-aware metric.
+:class:`CircuitBuilder` provides the wire/gate abstraction the structure
+generators are written against, and lowers to the hypergraph
+:class:`~repro.netlist.hypergraph.Netlist` (wires become nets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import GenerationError, NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.hypergraph import Netlist
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One standard-cell type.
+
+    Attributes:
+        name: library name, e.g. ``"NAND4"``.
+        num_inputs: input pin count.
+        num_outputs: output pin count (1 for simple gates).
+        area: placement area.
+    """
+
+    name: str
+    num_inputs: int
+    num_outputs: int = 1
+    area: float = 1.0
+
+    @property
+    def pin_count(self) -> int:
+        """Total signal pins of the gate."""
+        return self.num_inputs + self.num_outputs
+
+
+class GateLibrary:
+    """A collection of :class:`Gate` types indexed by name."""
+
+    def __init__(self, gates: Iterable[Gate] = ()) -> None:
+        self._gates: Dict[str, Gate] = {}
+        for gate in gates:
+            self.add(gate)
+
+    def add(self, gate: Gate) -> None:
+        """Register ``gate`` (replacing any same-named type)."""
+        self._gates[gate.name] = gate
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._gates
+
+    def __getitem__(self, name: str) -> Gate:
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise GenerationError(f"unknown gate type {name!r}") from None
+
+    def names(self) -> List[str]:
+        """All registered gate-type names."""
+        return sorted(self._gates)
+
+    def and_gate(self, fanin: int) -> Gate:
+        """An ``AND<fanin>`` gate, registered on demand for wide fanins."""
+        name = f"AND{fanin}"
+        if name not in self._gates:
+            if fanin < 2:
+                raise GenerationError("and_gate fanin must be >= 2")
+            self.add(Gate(name, num_inputs=fanin, area=0.5 + 0.25 * fanin))
+        return self._gates[name]
+
+    def or_gate(self, fanin: int) -> Gate:
+        """An ``OR<fanin>`` gate, registered on demand."""
+        name = f"OR{fanin}"
+        if name not in self._gates:
+            if fanin < 2:
+                raise GenerationError("or_gate fanin must be >= 2")
+            self.add(Gate(name, num_inputs=fanin, area=0.5 + 0.25 * fanin))
+        return self._gates[name]
+
+
+def _default_gates() -> List[Gate]:
+    # Areas follow the paper's premise that complex cells (NAND4, AOI, OAI)
+    # "give the most function per unit area": their pin-per-area density is
+    # roughly twice that of simple control gates, whose drive-strength
+    # sizing makes them comparatively roomy.
+    return [
+        Gate("INV", 1, area=0.8),
+        Gate("BUF", 1, area=0.8),
+        Gate("NAND2", 2, area=1.0),
+        Gate("NOR2", 2, area=1.0),
+        Gate("AND2", 2, area=1.1),
+        Gate("OR2", 2, area=1.1),
+        Gate("XOR2", 2, area=1.5),
+        Gate("XNOR2", 2, area=1.5),
+        Gate("NAND3", 3, area=0.9),
+        Gate("NOR3", 3, area=0.9),
+        Gate("NAND4", 4, area=1.0),
+        Gate("NOR4", 4, area=1.0),
+        Gate("AOI21", 3, area=0.85),
+        Gate("OAI21", 3, area=0.85),
+        Gate("AOI22", 4, area=1.0),
+        Gate("OAI22", 4, area=1.0),
+        Gate("MUX2", 3, area=1.3),
+        Gate("DFF", 2, area=3.0),  # D + Q (clock nets are not modeled)
+        Gate("FA", 3, num_outputs=2, area=2.2),  # full adder: a,b,cin -> s,cout
+        Gate("HA", 2, num_outputs=2, area=1.6),  # half adder
+    ]
+
+
+#: The default standard-cell library used by all structure generators.
+DEFAULT_LIBRARY = GateLibrary(_default_gates())
+
+
+class CircuitBuilder:
+    """Wire-level netlist construction.
+
+    Wires are integer handles; gates connect to wires; :meth:`finish` lowers
+    wires to hypergraph nets.  Gate pin counts are recorded explicitly on the
+    cells so the density-aware metric sees the library pin counts even when
+    an input is left unconnected.
+    """
+
+    def __init__(self, library: GateLibrary = DEFAULT_LIBRARY) -> None:
+        self.library = library
+        self._builder = NetlistBuilder()
+        self._wire_names: List[Optional[str]] = []
+        self._wire_members: List[List[int]] = []
+        self._gate_types: List[str] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Cells created so far."""
+        return self._builder.num_cells
+
+    @property
+    def num_wires(self) -> int:
+        """Wires created so far."""
+        return len(self._wire_members)
+
+    def gate_type(self, cell: int) -> str:
+        """Library type name of ``cell`` (``"PAD"`` for pads)."""
+        return self._gate_types[cell]
+
+    # ------------------------------------------------------------------
+    def new_wire(self, name: Optional[str] = None) -> int:
+        """Create a wire and return its handle."""
+        self._wire_names.append(name)
+        self._wire_members.append([])
+        return len(self._wire_members) - 1
+
+    def new_wires(self, count: int, prefix: str = "") -> List[int]:
+        """Create ``count`` wires (named ``<prefix><i>`` when prefix given)."""
+        return [
+            self.new_wire(f"{prefix}{i}" if prefix else None) for i in range(count)
+        ]
+
+    def connect(self, wire: int, cell: int) -> None:
+        """Attach ``cell`` to ``wire`` (idempotent)."""
+        if not 0 <= wire < len(self._wire_members):
+            raise GenerationError(f"unknown wire {wire}")
+        members = self._wire_members[wire]
+        if cell not in members:
+            members.append(cell)
+
+    def add_gate(
+        self,
+        gate_type: str,
+        inputs: Sequence[int],
+        outputs: Optional[Sequence[int]] = None,
+        name: Optional[str] = None,
+    ) -> Tuple[int, List[int]]:
+        """Instantiate a gate.
+
+        Args:
+            gate_type: library type name.
+            inputs: wires driving the gate's inputs (at most
+                ``gate.num_inputs``; fewer models unconnected pins).
+            outputs: wires the gate drives; fresh wires are created when
+                omitted.
+            name: instance name (auto-generated when omitted).
+
+        Returns:
+            ``(cell_index, output_wires)``.
+        """
+        gate = self.library[gate_type]
+        if len(inputs) > gate.num_inputs:
+            raise GenerationError(
+                f"{gate_type} takes {gate.num_inputs} inputs, got {len(inputs)}"
+            )
+        if outputs is None:
+            outputs = [self.new_wire() for _ in range(gate.num_outputs)]
+        elif len(outputs) != gate.num_outputs:
+            raise GenerationError(
+                f"{gate_type} drives {gate.num_outputs} outputs, got {len(outputs)}"
+            )
+        cell = self._builder.add_cell(
+            name=name, area=gate.area, pin_count=gate.pin_count
+        )
+        self._gate_types.append(gate_type)
+        for wire in inputs:
+            self.connect(wire, cell)
+        for wire in outputs:
+            self.connect(wire, cell)
+        return cell, list(outputs)
+
+    def add_pad(self, wire: int, name: Optional[str] = None) -> int:
+        """Add a fixed IO pad driving/observing ``wire``."""
+        cell = self._builder.add_cell(name=name, area=1.0, pin_count=1, fixed=True)
+        self._gate_types.append("PAD")
+        self.connect(wire, cell)
+        return cell
+
+    # ------------------------------------------------------------------
+    def finish(self, drop_dangling_wires: bool = True) -> Netlist:
+        """Lower wires to nets and build the immutable netlist.
+
+        Args:
+            drop_dangling_wires: discard wires touching fewer than two cells
+                (they carry no connectivity).  When False, single-cell wires
+                become single-pin nets.
+        """
+        for index, members in enumerate(self._wire_members):
+            if len(members) < (2 if drop_dangling_wires else 1):
+                continue
+            name = self._wire_names[index] or f"w{index}"
+            try:
+                self._builder.add_net(name, members)
+            except NetlistError:
+                # Duplicate explicit wire names get a unique suffix.
+                self._builder.add_net(f"{name}__{index}", members)
+        return self._builder.build()

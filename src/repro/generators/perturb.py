@@ -1,0 +1,56 @@
+"""Netlist perturbation: controlled noise for robustness studies.
+
+The finder's claims should survive netlist noise — ECO edits, slightly
+different synthesis runs, or measurement error in the model.  This module
+rewires a controlled fraction of pins to random cells, preserving sizes
+and degrees-in-expectation, so robustness can be swept against noise rate
+(``bench_robustness``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import GenerationError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.hypergraph import Netlist
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def rewire_pins(
+    netlist: Netlist, fraction: float, rng: RngLike = None
+) -> Netlist:
+    """Rewire ``fraction`` of all pin incidences to uniformly random cells.
+
+    Each selected (net, pin) incidence is reattached to a random cell
+    (fixed cells excluded as targets).  Net count, net degrees and cell
+    count are preserved; nets degenerating to a single distinct cell are
+    kept (and dropped at build time if singleton).
+
+    Args:
+        netlist: the design to perturb.
+        fraction: pin rewire probability in [0, 1].
+        rng: seed for reproducibility.
+    """
+    if not 0 <= fraction <= 1:
+        raise GenerationError("fraction must be in [0, 1]")
+    generator = ensure_rng(rng)
+    targets = netlist.movable_cells() or list(range(netlist.num_cells))
+
+    builder = NetlistBuilder()
+    for cell in range(netlist.num_cells):
+        view = netlist.cell(cell)
+        builder.add_cell(
+            name=view.name, area=view.area, pin_count=None, fixed=view.fixed
+        )
+    for net in range(netlist.num_nets):
+        members: List[int] = []
+        for cell in netlist.cells_of_net(net):
+            if generator.random() < fraction:
+                members.append(generator.choice(targets))
+            else:
+                members.append(cell)
+        distinct = list(dict.fromkeys(members))
+        if distinct:
+            builder.add_net(netlist.net_name(net), distinct)
+    return builder.build(drop_singleton_nets=True)

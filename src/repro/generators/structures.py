@@ -1,0 +1,535 @@
+"""Gate-level logic-structure generators.
+
+These build the kinds of structures the paper says GTLs represent — "entire
+logic structures like adders and decoders" — plus the dissolved ROM blocks
+the industrial experiment traces its hotspots to.  Every generator works on
+a shared :class:`~repro.generators.circuit_builder.CircuitBuilder` and
+returns :class:`StructurePorts` (member cells + boundary wires) so composite
+designs can stitch structures into surrounding glue logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import GenerationError
+from repro.generators.circuit_builder import CircuitBuilder
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class StructurePorts:
+    """Boundary description of one generated structure.
+
+    Attributes:
+        name: instance name of the structure.
+        cells: member cell indices (the structure's ground-truth GTL set).
+        inputs: wires the structure reads (created by the caller or fresh).
+        outputs: wires the structure drives.
+        internal_wires: all wires created inside the structure (gate
+            outputs); populated by generators that expose their full wire
+            pool for cross-module sampling.
+    """
+
+    name: str
+    cells: List[int] = field(default_factory=list)
+    inputs: List[int] = field(default_factory=list)
+    outputs: List[int] = field(default_factory=list)
+    internal_wires: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of member cells."""
+        return len(self.cells)
+
+
+def _resolve_inputs(
+    circuit: CircuitBuilder, count: int, provided: Optional[Sequence[int]]
+) -> List[int]:
+    if provided is None:
+        return circuit.new_wires(count)
+    if len(provided) != count:
+        raise GenerationError(f"expected {count} input wires, got {len(provided)}")
+    return list(provided)
+
+
+# ----------------------------------------------------------------------
+# Adders
+# ----------------------------------------------------------------------
+def build_ripple_carry_adder(
+    circuit: CircuitBuilder,
+    bits: int,
+    inputs: Optional[Sequence[int]] = None,
+    name: str = "rca",
+) -> StructurePorts:
+    """Gate-level ripple-carry adder: per bit 2x XOR2, 2x AND2, 1x OR2.
+
+    ``inputs`` holds ``a[0..bits-1], b[0..bits-1], cin`` (2*bits+1 wires).
+    Outputs are ``sum[0..bits-1], cout``.
+    """
+    if bits < 1:
+        raise GenerationError("adder needs >= 1 bit")
+    wires = _resolve_inputs(circuit, 2 * bits + 1, inputs)
+    a, b, carry = wires[:bits], wires[bits : 2 * bits], wires[2 * bits]
+    ports = StructurePorts(name=name, inputs=list(wires))
+    for i in range(bits):
+        g1, (p,) = circuit.add_gate("XOR2", [a[i], b[i]], name=f"{name}_p{i}")
+        g2, (s,) = circuit.add_gate("XOR2", [p, carry], name=f"{name}_s{i}")
+        g3, (t1,) = circuit.add_gate("AND2", [a[i], b[i]], name=f"{name}_g{i}")
+        g4, (t2,) = circuit.add_gate("AND2", [p, carry], name=f"{name}_h{i}")
+        g5, (cout,) = circuit.add_gate("OR2", [t1, t2], name=f"{name}_c{i}")
+        ports.cells += [g1, g2, g3, g4, g5]
+        ports.outputs.append(s)
+        carry = cout
+    ports.outputs.append(carry)
+    return ports
+
+
+def build_carry_lookahead_adder(
+    circuit: CircuitBuilder,
+    bits: int,
+    group: int = 4,
+    inputs: Optional[Sequence[int]] = None,
+    name: str = "cla",
+) -> StructurePorts:
+    """Carry-lookahead adder with ``group``-bit lookahead blocks.
+
+    Denser than ripple-carry: inside each block every carry is computed from
+    all lower p/g signals with wide AND/OR gates, so p/g wires fan out to
+    many complex gates — a more tangled structure per the paper's
+    motivation.
+    """
+    if bits < 1:
+        raise GenerationError("adder needs >= 1 bit")
+    if group < 2:
+        raise GenerationError("lookahead group must be >= 2")
+    wires = _resolve_inputs(circuit, 2 * bits + 1, inputs)
+    a, b, cin = wires[:bits], wires[bits : 2 * bits], wires[2 * bits]
+    ports = StructurePorts(name=name, inputs=list(wires))
+
+    propagate: List[int] = []
+    generate: List[int] = []
+    for i in range(bits):
+        gp, (p,) = circuit.add_gate("XOR2", [a[i], b[i]], name=f"{name}_p{i}")
+        gg, (g,) = circuit.add_gate("AND2", [a[i], b[i]], name=f"{name}_g{i}")
+        ports.cells += [gp, gg]
+        propagate.append(p)
+        generate.append(g)
+
+    carry = cin
+    for base in range(0, bits, group):
+        width = min(group, bits - base)
+        block_carry_in = carry
+        for offset in range(width):
+            i = base + offset
+            # c_{i+1} = g_i + p_i g_{i-1} + ... + p_i..p_base * c_base
+            terms = [generate[i]]
+            for j in range(base, i):
+                fanin = [propagate[k] for k in range(j + 1, i + 1)] + [generate[j]]
+                gate = circuit.library.and_gate(len(fanin)) if len(fanin) > 1 else None
+                if gate is None:
+                    terms.append(generate[j])
+                else:
+                    cell, (t,) = circuit.add_gate(
+                        gate.name, fanin, name=f"{name}_t{i}_{j}"
+                    )
+                    ports.cells.append(cell)
+                    terms.append(t)
+            fanin = [propagate[k] for k in range(base, i + 1)] + [block_carry_in]
+            cell, (t,) = circuit.add_gate(
+                circuit.library.and_gate(len(fanin)).name,
+                fanin,
+                name=f"{name}_tc{i}",
+            )
+            ports.cells.append(cell)
+            terms.append(t)
+            if len(terms) == 1:
+                carry = terms[0]
+            else:
+                cell, (carry,) = circuit.add_gate(
+                    circuit.library.or_gate(len(terms)).name,
+                    terms,
+                    name=f"{name}_c{i + 1}",
+                )
+                ports.cells.append(cell)
+            gs, (s,) = circuit.add_gate(
+                "XOR2",
+                [propagate[i], block_carry_in if offset == 0 else prev_carry],
+                name=f"{name}_s{i}",
+            )
+            ports.cells.append(gs)
+            ports.outputs.append(s)
+            prev_carry = carry
+    ports.outputs.append(carry)
+    return ports
+
+
+# ----------------------------------------------------------------------
+# Decoder / mux
+# ----------------------------------------------------------------------
+def build_decoder(
+    circuit: CircuitBuilder,
+    addr_bits: int,
+    inputs: Optional[Sequence[int]] = None,
+    name: str = "dec",
+) -> StructurePorts:
+    """``addr_bits``-to-``2**addr_bits`` line decoder.
+
+    Every address wire (or its complement) fans out to half the output AND
+    gates, producing the very-high-fanout nets that make decoders tangled.
+    """
+    if addr_bits < 1:
+        raise GenerationError("decoder needs >= 1 address bit")
+    addr = _resolve_inputs(circuit, addr_bits, inputs)
+    ports = StructurePorts(name=name, inputs=list(addr))
+
+    complements: List[int] = []
+    for i, wire in enumerate(addr):
+        cell, (neg,) = circuit.add_gate("INV", [wire], name=f"{name}_inv{i}")
+        ports.cells.append(cell)
+        complements.append(neg)
+
+    if addr_bits == 1:
+        # Outputs are just the wire and its complement buffered.
+        for i, source in enumerate((complements[0], addr[0])):
+            cell, (out,) = circuit.add_gate("BUF", [source], name=f"{name}_o{i}")
+            ports.cells.append(cell)
+            ports.outputs.append(out)
+        return ports
+
+    gate = circuit.library.and_gate(addr_bits)
+    for code in range(2**addr_bits):
+        fanin = [
+            addr[bit] if (code >> bit) & 1 else complements[bit]
+            for bit in range(addr_bits)
+        ]
+        cell, (out,) = circuit.add_gate(gate.name, fanin, name=f"{name}_o{code}")
+        ports.cells.append(cell)
+        ports.outputs.append(out)
+    return ports
+
+
+def build_mux_tree(
+    circuit: CircuitBuilder,
+    num_inputs: int,
+    inputs: Optional[Sequence[int]] = None,
+    name: str = "mux",
+) -> StructurePorts:
+    """Binary 2:1-mux reduction tree over ``num_inputs`` data wires.
+
+    One select wire per level is shared by all muxes of the level, giving
+    the select nets fanout ``num_inputs / 2**level``.
+    """
+    if num_inputs < 2:
+        raise GenerationError("mux tree needs >= 2 inputs")
+    data = _resolve_inputs(circuit, num_inputs, inputs)
+    ports = StructurePorts(name=name, inputs=list(data))
+
+    level = 0
+    current = list(data)
+    while len(current) > 1:
+        select = circuit.new_wire(f"{name}_sel{level}")
+        ports.inputs.append(select)
+        nxt: List[int] = []
+        for pair in range(0, len(current) - 1, 2):
+            cell, (out,) = circuit.add_gate(
+                "MUX2",
+                [current[pair], current[pair + 1], select],
+                name=f"{name}_m{level}_{pair // 2}",
+            )
+            ports.cells.append(cell)
+            nxt.append(out)
+        if len(current) % 2:
+            nxt.append(current[-1])
+        current = nxt
+        level += 1
+    ports.outputs = [current[0]]
+    return ports
+
+
+# ----------------------------------------------------------------------
+# ROM (and its "dissolved" form)
+# ----------------------------------------------------------------------
+def build_dissolved_rom(
+    circuit: CircuitBuilder,
+    addr_bits: int,
+    word_bits: int,
+    sharing: float = 1.5,
+    levels: int = 3,
+    rng: RngLike = None,
+    inputs: Optional[Sequence[int]] = None,
+    name: str = "rom",
+) -> StructurePorts:
+    """A ROM dissolved into ordinary logic (the industrial GTL origin).
+
+    A ``addr_bits`` decoder produces ``2**addr_bits`` word lines.  Synthesis
+    does not build one OR tree per output bit — it factors shared
+    subexpressions *across* bits, so the dissolved ROM is a mesh of complex
+    gates (NOR4 / NAND4 / AOI / OAI) in which every intermediate signal fans
+    out to several consumers.  We model that directly with ``levels`` layers
+    of shared reduction gates: each layer holds
+    ``sharing * max(previous_width, word_bits)`` gates, every gate combining
+    four random signals of the previous layer, and
+    every output bit finally combines four random top-layer signals.  Each
+    intermediate wire therefore has expected fanout ~2-4 and every gate is
+    pin-dense — exactly the tangled, high-pin-count clump the paper's
+    designers describe after timing-driven ROM dissolution.
+    """
+    if word_bits < 1:
+        raise GenerationError("ROM needs >= 1 output bit")
+    if sharing <= 0:
+        raise GenerationError("sharing must be positive")
+    if levels < 1:
+        raise GenerationError("levels must be >= 1")
+    generator = ensure_rng(rng)
+    decoder = build_decoder(circuit, addr_bits, inputs=inputs, name=f"{name}_dec")
+    ports = StructurePorts(
+        name=name, cells=list(decoder.cells), inputs=list(decoder.inputs)
+    )
+
+    layer_gates = (("NOR4", "NOR2"), ("NAND4", "NAND2"), ("AOI22", "AOI21"))
+    current = list(decoder.outputs)
+    for level in range(levels):
+        width = max(4, int(round(sharing * max(len(current), word_bits))))
+        wide, narrow = layer_gates[level % len(layer_gates)]
+        nxt: List[int] = []
+        for index in range(width):
+            fanin_count = 4 if len(current) >= 4 else 2
+            fanin = generator.sample(current, min(fanin_count, len(current)))
+            gate_type = wide if len(fanin) > 2 else narrow
+            cell, (out,) = circuit.add_gate(
+                gate_type, fanin, name=f"{name}_l{level}_{index}"
+            )
+            ports.cells.append(cell)
+            nxt.append(out)
+        current = nxt
+
+    for bit in range(word_bits):
+        fanin = generator.sample(current, min(4, len(current)))
+        gate_type = "OAI22" if len(fanin) > 2 else "OR2"
+        cell, (out,) = circuit.add_gate(gate_type, fanin, name=f"{name}_b{bit}")
+        ports.cells.append(cell)
+        ports.outputs.append(out)
+    return ports
+
+
+# ----------------------------------------------------------------------
+# Multiplier
+# ----------------------------------------------------------------------
+def build_multiplier(
+    circuit: CircuitBuilder,
+    bits: int,
+    inputs: Optional[Sequence[int]] = None,
+    name: str = "mul",
+) -> StructurePorts:
+    """Array multiplier: AND partial products + full-adder reduction array.
+
+    ``bits**2`` AND2 gates plus ~``bits**2`` FA cells; operand wires fan out
+    to ``bits`` partial-product gates each — a classic datapath GTL.
+    """
+    if bits < 2:
+        raise GenerationError("multiplier needs >= 2 bits")
+    wires = _resolve_inputs(circuit, 2 * bits, inputs)
+    a, b = wires[:bits], wires[bits:]
+    ports = StructurePorts(name=name, inputs=list(wires))
+
+    # Partial products pp[i][j] = a[j] & b[i]
+    pp: List[List[int]] = []
+    for i in range(bits):
+        row: List[int] = []
+        for j in range(bits):
+            cell, (w,) = circuit.add_gate("AND2", [a[j], b[i]], name=f"{name}_pp{i}_{j}")
+            ports.cells.append(cell)
+            row.append(w)
+        pp.append(row)
+
+    # Ripple-carry array reduction.
+    acc = list(pp[0])  # bits wires, weight j
+    ports.outputs.append(acc[0])
+    for i in range(1, bits):
+        carry: Optional[int] = None
+        next_acc: List[int] = []
+        for j in range(bits):
+            addend = pp[i][j]
+            prev = acc[j + 1] if j + 1 < len(acc) else None
+            operands = [w for w in (prev, addend, carry) if w is not None]
+            if len(operands) == 1:
+                next_acc.append(operands[0])
+                carry = None
+            elif len(operands) == 2:
+                cell, outs = circuit.add_gate("HA", operands, name=f"{name}_ha{i}_{j}")
+                ports.cells.append(cell)
+                next_acc.append(outs[0])
+                carry = outs[1]
+            else:
+                cell, outs = circuit.add_gate("FA", operands, name=f"{name}_fa{i}_{j}")
+                ports.cells.append(cell)
+                next_acc.append(outs[0])
+                carry = outs[1]
+        if carry is not None:
+            next_acc.append(carry)
+        ports.outputs.append(next_acc[0])
+        acc = next_acc
+    ports.outputs.extend(acc[1:])
+    return ports
+
+
+# ----------------------------------------------------------------------
+# Random glue logic
+# ----------------------------------------------------------------------
+_GLUE_GATES = (
+    ("INV", 0.18),
+    ("BUF", 0.05),
+    ("NAND2", 0.22),
+    ("NOR2", 0.12),
+    ("AND2", 0.08),
+    ("OR2", 0.08),
+    ("XOR2", 0.05),
+    ("NAND3", 0.07),
+    ("AOI21", 0.05),
+    ("OAI21", 0.04),
+    ("DFF", 0.06),
+)
+
+
+def build_random_glue(
+    circuit: CircuitBuilder,
+    num_gates: int,
+    rng: RngLike = None,
+    locality: int = 200,
+    num_primary_inputs: Optional[int] = None,
+    name: str = "glue",
+) -> StructurePorts:
+    """Random control-logic DAG with a post-synthesis gate mix.
+
+    Gates draw inputs from recently created wires within a ``locality``
+    window (plus occasional long-range wires), which yields the mildly
+    local connectivity and Rent exponents (~0.6-0.8) of real control logic
+    rather than a fully random graph.
+    """
+    if num_gates < 1:
+        raise GenerationError("glue needs >= 1 gate")
+    generator = ensure_rng(rng)
+    if num_primary_inputs is None:
+        num_primary_inputs = max(4, num_gates // 20)
+    ports = StructurePorts(name=name)
+    ports.inputs = circuit.new_wires(num_primary_inputs, prefix=f"{name}_pi")
+
+    pool: List[int] = list(ports.inputs)
+    names = [g for g, _ in _GLUE_GATES]
+    weights = [w for _, w in _GLUE_GATES]
+    for index in range(num_gates):
+        gate_type = generator.choices(names, weights)[0]
+        fanin = circuit.library[gate_type].num_inputs
+        inputs: List[int] = []
+        for _ in range(fanin):
+            if generator.random() < 0.9 and len(pool) > 1:
+                low = max(0, len(pool) - locality)
+                inputs.append(pool[generator.randrange(low, len(pool))])
+            else:
+                inputs.append(pool[generator.randrange(len(pool))])
+        cell, outs = circuit.add_gate(gate_type, inputs, name=f"{name}_{index}")
+        ports.cells.append(cell)
+        pool.extend(outs)
+    # The most recent wires are the block's outputs (undriven fanout).
+    ports.outputs = pool[-max(1, num_gates // 25) :]
+    return ports
+
+
+def build_modular_glue(
+    circuit: CircuitBuilder,
+    total_gates: int,
+    modules: int = 0,
+    rng: RngLike = None,
+    rent_coefficient: float = 1.8,
+    rent_exponent: float = 0.65,
+    name: str = "glue",
+) -> List[StructurePorts]:
+    """Background logic organized as Rent-typical connected modules.
+
+    Real ASICs are hierarchies of functional units, not one homogeneous
+    random graph: wiring demand is distributed over many mild module-level
+    clusters instead of piling up at the die center.  Modules are built
+    sequentially; module ``m`` reads ``rent_coefficient * size**rent_exponent``
+    wires sampled from earlier modules (ring-biased), which gives every
+    module an external cut at its Rent expectation — so ordinary modules do
+    *not* register as GTLs, only genuinely tangled structures do.
+
+    Returns one :class:`StructurePorts` per module.
+    """
+    if total_gates < 1:
+        raise GenerationError("glue needs >= 1 gate")
+    generator = ensure_rng(rng)
+    if modules <= 0:
+        modules = max(1, min(48, total_gates // 400))
+    per_module = max(10, total_gates // modules)
+    cross_inputs = max(8, int(round(rent_coefficient * per_module**rent_exponent)))
+
+    blocks: List[StructurePorts] = []
+    wire_pools: List[List[int]] = []
+    for index in range(modules):
+        if index == 0:
+            inputs = None  # fresh primary inputs
+        else:
+            # Mostly the previous module (ring locality), some from any.
+            inputs = []
+            for _ in range(cross_inputs):
+                if generator.random() < 0.7:
+                    pool = wire_pools[index - 1]
+                else:
+                    pool = wire_pools[generator.randrange(index)]
+                inputs.append(generator.choice(pool))
+        block = _glue_module(
+            circuit, per_module, generator, inputs, f"{name}_m{index}"
+        )
+        blocks.append(block)
+        pool = block.internal_wires or (list(block.inputs) + list(block.outputs))
+        wire_pools.append(pool)
+    # Close the ring: module 0 consumes wires of the last module through
+    # buffer gates counted in module 0.
+    if modules > 1:
+        for serial in range(min(cross_inputs, len(wire_pools[-1]))):
+            wire = generator.choice(wire_pools[-1])
+            cell, (out,) = circuit.add_gate("BUF", [wire], name=f"{name}_ring{serial}")
+            blocks[0].cells.append(cell)
+            blocks[0].outputs.append(out)
+    return blocks
+
+
+def _glue_module(
+    circuit: CircuitBuilder,
+    num_gates: int,
+    generator,
+    input_wires: Optional[List[int]],
+    name: str,
+) -> StructurePorts:
+    """One glue module; like :func:`build_random_glue` but with externally
+    supplied primary-input wires (cross-module connectivity)."""
+    ports = StructurePorts(name=name)
+    if input_wires is None:
+        count = max(8, int(round(1.8 * num_gates**0.65)))
+        ports.inputs = circuit.new_wires(count, prefix=f"{name}_pi")
+    else:
+        ports.inputs = list(input_wires)
+
+    pool: List[int] = list(ports.inputs)
+    names = [g for g, _ in _GLUE_GATES]
+    weights = [w for _, w in _GLUE_GATES]
+    locality = max(20, num_gates // 4)
+    for index in range(num_gates):
+        gate_type = generator.choices(names, weights)[0]
+        fanin = circuit.library[gate_type].num_inputs
+        inputs: List[int] = []
+        for _ in range(fanin):
+            if generator.random() < 0.9 and len(pool) > 1:
+                low = max(0, len(pool) - locality)
+                inputs.append(pool[generator.randrange(low, len(pool))])
+            else:
+                inputs.append(pool[generator.randrange(len(pool))])
+        cell, outs = circuit.add_gate(gate_type, inputs, name=f"{name}_{index}")
+        ports.cells.append(cell)
+        pool.extend(outs)
+    ports.outputs = pool[-max(1, num_gates // 25) :]
+    ports.internal_wires = pool[len(ports.inputs) :]
+    return ports

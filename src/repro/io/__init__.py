@@ -1,0 +1,20 @@
+"""Netlist interchange formats.
+
+* :mod:`repro.io.bookshelf` — the UCLA Bookshelf format used by the ISPD
+  2005/2006 placement benchmarks (``.aux``, ``.nodes``, ``.nets``, ``.pl``).
+* :mod:`repro.io.edgelist` — plain edge-list graphs.
+* :mod:`repro.io.hgr` — hMETIS-style hypergraph files.
+"""
+
+from repro.io.bookshelf import read_bookshelf, write_bookshelf
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.hgr import read_hgr, write_hgr
+
+__all__ = [
+    "read_bookshelf",
+    "write_bookshelf",
+    "read_edgelist",
+    "write_edgelist",
+    "read_hgr",
+    "write_hgr",
+]

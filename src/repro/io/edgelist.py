@@ -1,0 +1,51 @@
+"""Plain edge-list graph IO.
+
+Lines are ``u v`` cell-name pairs; each line becomes a 2-pin net.  Handy for
+running the finder on graph datasets and for interop with graph tools
+(networkx round-trips through this format).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ParseError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.hypergraph import Netlist
+
+
+def read_edgelist(path: str) -> Netlist:
+    """Read a 2-pin-net netlist from an edge-list file."""
+    builder = NetlistBuilder()
+    known: Dict[str, int] = {}
+
+    def cell_of(name: str) -> int:
+        if name not in known:
+            known[name] = builder.add_cell(name=name)
+        return known[name]
+
+    edge_serial = 0
+    with open(path) as handle:
+        for line_no, raw in enumerate(handle, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ParseError(f"edge line needs two endpoints: {line!r}", path, line_no)
+            a, b = cell_of(parts[0]), cell_of(parts[1])
+            if a == b:
+                continue  # self-loops carry no connectivity
+            builder.add_net(f"e{edge_serial}", [a, b])
+            edge_serial += 1
+    return builder.build()
+
+
+def write_edgelist(netlist: Netlist, path: str) -> None:
+    """Write every net as a clique of name pairs (2-pin nets verbatim)."""
+    with open(path, "w") as handle:
+        for net in range(netlist.num_nets):
+            cells = netlist.cells_of_net(net)
+            for i, a in enumerate(cells):
+                for b in cells[i + 1 :]:
+                    handle.write(f"{netlist.cell_name(a)} {netlist.cell_name(b)}\n")

@@ -1,0 +1,59 @@
+"""hMETIS-style hypergraph files (``.hgr``).
+
+Header line: ``num_nets num_cells``.  Each following line lists one net's
+member cells as 1-based indices.  This is the lingua franca of hypergraph
+partitioning tools and a compact way to persist generated testcases.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.hypergraph import Netlist
+
+
+def read_hgr(path: str) -> Netlist:
+    """Read a netlist from an hMETIS hypergraph file."""
+    with open(path) as handle:
+        lines = [
+            (line_no, line.split("%", 1)[0].strip())
+            for line_no, line in enumerate(handle, 1)
+        ]
+    lines = [(n, l) for n, l in lines if l]
+    if not lines:
+        raise ParseError("empty hgr file", path)
+
+    header_no, header = lines[0]
+    parts = header.split()
+    if len(parts) < 2:
+        raise ParseError(f"bad header {header!r}", path, header_no)
+    try:
+        num_nets, num_cells = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ParseError(f"bad header {header!r}", path, header_no) from None
+
+    builder = NetlistBuilder()
+    builder.add_cells(num_cells, prefix="v")
+    body = lines[1:]
+    if len(body) != num_nets:
+        raise ParseError(
+            f"header promises {num_nets} nets, file has {len(body)}", path, header_no
+        )
+    for index, (line_no, line) in enumerate(body):
+        try:
+            members = [int(token) - 1 for token in line.split()]
+        except ValueError:
+            raise ParseError(f"bad net line {line!r}", path, line_no) from None
+        if any(not 0 <= m < num_cells for m in members):
+            raise ParseError(f"cell index out of range in {line!r}", path, line_no)
+        builder.add_net(f"n{index}", members)
+    return builder.build()
+
+
+def write_hgr(netlist: Netlist, path: str) -> None:
+    """Write ``netlist`` as an hMETIS hypergraph file."""
+    with open(path, "w") as handle:
+        handle.write(f"{netlist.num_nets} {netlist.num_cells}\n")
+        for net in range(netlist.num_nets):
+            members = " ".join(str(c + 1) for c in netlist.cells_of_net(net))
+            handle.write(f"{members}\n")

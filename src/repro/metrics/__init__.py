@@ -1,0 +1,47 @@
+"""Cluster-quality metrics.
+
+The package implements the paper's new metrics (Section 3.1):
+
+* ``GTL-S(C)  = T(C) / |C|^p``
+* ``nGTL-S(C) = T(C) / (A_G * |C|^p)``
+* ``GTL-SD(C) = T(C) / (A_G * |C|^(p * A_C / A_G))``
+
+and all the prior-work metrics it compares against (Chapter II): net cut,
+ratio cut / scaled cost, the Rent-exponent metric, absorption, and
+degree separation.
+"""
+
+from repro.metrics.cut import absorption, net_cut
+from repro.metrics.ratio_cut import ratio_cut, rent_metric, scaled_cost
+from repro.metrics.rent import (
+    estimate_group_rent_exponent,
+    estimate_rent_exponent_from_prefixes,
+    fit_rent_exponent,
+)
+from repro.metrics.degree_separation import degree_separation
+from repro.metrics.connectivity import adhesion, edge_separability, kl_connectivity_l2
+from repro.metrics.gtl_score import (
+    ScoreContext,
+    density_aware_gtl_score,
+    gtl_score,
+    normalized_gtl_score,
+)
+
+__all__ = [
+    "net_cut",
+    "absorption",
+    "ratio_cut",
+    "scaled_cost",
+    "rent_metric",
+    "estimate_group_rent_exponent",
+    "estimate_rent_exponent_from_prefixes",
+    "fit_rent_exponent",
+    "degree_separation",
+    "adhesion",
+    "edge_separability",
+    "kl_connectivity_l2",
+    "ScoreContext",
+    "gtl_score",
+    "normalized_gtl_score",
+    "density_aware_gtl_score",
+]

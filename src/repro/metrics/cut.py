@@ -1,0 +1,47 @@
+"""Cut-based baseline metrics: net cut and absorption.
+
+Net cut ``T(C)`` is the fundamental quantity all the paper's metrics build
+on.  Absorption [Alpert & Kahng 1995] counts internal connectivity and is
+included as the prior-work baseline the paper criticizes for growing with
+cluster size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.errors import MetricError
+from repro.netlist.hypergraph import Netlist
+from repro.netlist.ops import cut_size
+
+
+def net_cut(netlist: Netlist, group: Iterable[int]) -> int:
+    """``T(C)``: nets with pins inside and outside ``group``."""
+    return cut_size(netlist, group)
+
+
+def absorption(netlist: Netlist, group: Iterable[int]) -> float:
+    """Absorption of ``group``: sum over nets of absorbed pin fraction.
+
+    For each net ``e`` touching the group with ``k`` pins inside, the net
+    contributes ``(k - 1) / (|e| - 1)`` (fully internal nets contribute 1,
+    nets touched at a single pin contribute 0).  Larger is better, and the
+    value grows with group size — the property that makes it unsuitable for
+    comparing candidate GTLs of different sizes.
+    """
+    members: Set[int] = group if isinstance(group, set) else set(group)
+    if not members:
+        raise MetricError("absorption of an empty group")
+    seen: Set[int] = set()
+    total = 0.0
+    for cell in members:
+        for net in netlist.nets_of_cell(cell):
+            if net in seen:
+                continue
+            seen.add(net)
+            cells = netlist.cells_of_net(net)
+            if len(cells) < 2:
+                continue
+            inside = sum(1 for c in cells if c in members)
+            total += (inside - 1) / (len(cells) - 1)
+    return total

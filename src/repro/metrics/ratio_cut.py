@@ -1,0 +1,57 @@
+"""Size-normalized baseline metrics: ratio cut, scaled cost, Rent metric.
+
+These are the prior-work metrics of Chapter II that the paper shows cannot
+fairly compare clusters of different sizes:
+
+* ratio cut / scaled cost ``T(C)/|C|`` decreases almost monotonically with
+  size (Fig 5's flat bottom curve);
+* the Rent metric ``ln T(C) / ln |C|`` [Ng et al.] improves on it but still
+  decreases monotonically as C grows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import MetricError
+from repro.netlist.hypergraph import Netlist
+from repro.netlist.ops import cut_size
+
+
+def ratio_cut(netlist: Netlist, group: Iterable[int]) -> float:
+    """Ratio cut ``T(C) / |C|`` [Chan, Schlag & Zien]."""
+    members = group if isinstance(group, set) else set(group)
+    if not members:
+        raise MetricError("ratio_cut of an empty group")
+    return cut_size(netlist, members) / len(members)
+
+
+def scaled_cost(netlist: Netlist, group: Iterable[int]) -> float:
+    """Scaled cost: ratio cut additionally normalized by the netlist size.
+
+    ``T(C) / (|C| * (|V| - |C|))`` — the two-way form of the scaled-cost
+    clustering objective.
+    """
+    members = group if isinstance(group, set) else set(group)
+    if not members:
+        raise MetricError("scaled_cost of an empty group")
+    outside = netlist.num_cells - len(members)
+    if outside <= 0:
+        raise MetricError("scaled_cost of the whole netlist is undefined")
+    return cut_size(netlist, members) / (len(members) * outside)
+
+
+def rent_metric(netlist: Netlist, group: Iterable[int]) -> float:
+    """Rent metric ``ln T(C) / ln |C|`` [Ng, Oldfield & Pitchumani].
+
+    Groups of one cell or with zero cut have no meaningful value; zero cut
+    returns ``-inf`` (a perfectly isolated group) to keep ordering sensible.
+    """
+    members = group if isinstance(group, set) else set(group)
+    if len(members) < 2:
+        raise MetricError("rent_metric needs at least two cells")
+    cut = cut_size(netlist, members)
+    if cut == 0:
+        return float("-inf")
+    return math.log(cut) / math.log(len(members))

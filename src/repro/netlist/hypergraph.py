@@ -1,0 +1,265 @@
+"""Core hypergraph netlist data structure.
+
+Cells and nets are integer-indexed for speed; names are optional decoration.
+The structure is immutable after construction (build with
+:class:`repro.netlist.builder.NetlistBuilder`), which lets the finder and the
+metrics share it freely across (process) parallel seed runs.
+
+Pin model
+---------
+A *pin* is an incidence between a cell and a net.  For metrics based on
+Rent's rule the relevant quantity is the pin count of a cell.  By default a
+cell's pin count equals the number of nets incident to it (every pin is
+connected somewhere).  Generators that model gates with known pin counts
+(e.g. a NAND4 has 5 pins) may set an explicit ``pin_count`` per cell, which
+is then used by the density-aware metric; unconnected pins are thereby
+representable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A read-only view of one cell.
+
+    Attributes:
+        index: dense integer id in ``[0, num_cells)``.
+        name: human-readable name (unique within the netlist).
+        area: placement area of the cell (arbitrary units, default 1.0).
+        pin_count: number of pins on the cell (>= number of incident nets).
+        fixed: True for IO pads / fixed terminals that placement must not move.
+    """
+
+    index: int
+    name: str
+    area: float
+    pin_count: int
+    fixed: bool
+
+
+@dataclass(frozen=True)
+class Net:
+    """A read-only view of one net (hyperedge).
+
+    Attributes:
+        index: dense integer id in ``[0, num_nets)``.
+        name: human-readable name (unique within the netlist).
+        cells: tuple of member cell indices (distinct, at least one).
+    """
+
+    index: int
+    name: str
+    cells: Tuple[int, ...]
+
+    @property
+    def degree(self) -> int:
+        """Number of pins on the net."""
+        return len(self.cells)
+
+
+class Netlist:
+    """Immutable hypergraph netlist ``G = (V, E)``.
+
+    Do not call this constructor directly in application code; use
+    :class:`repro.netlist.builder.NetlistBuilder` which validates its input.
+    """
+
+    __slots__ = (
+        "_cell_names",
+        "_cell_areas",
+        "_cell_pin_counts",
+        "_cell_fixed",
+        "_cell_nets",
+        "_net_names",
+        "_net_cells",
+        "_name_to_cell",
+        "_name_to_net",
+        "_total_pins",
+    )
+
+    def __init__(
+        self,
+        cell_names: Sequence[str],
+        cell_areas: Sequence[float],
+        cell_pin_counts: Sequence[int],
+        cell_fixed: Sequence[bool],
+        net_names: Sequence[str],
+        net_cells: Sequence[Tuple[int, ...]],
+        cell_nets: Sequence[Tuple[int, ...]],
+    ) -> None:
+        self._cell_names: Tuple[str, ...] = tuple(cell_names)
+        self._cell_areas: Tuple[float, ...] = tuple(cell_areas)
+        self._cell_pin_counts: Tuple[int, ...] = tuple(cell_pin_counts)
+        self._cell_fixed: Tuple[bool, ...] = tuple(cell_fixed)
+        self._net_names: Tuple[str, ...] = tuple(net_names)
+        self._net_cells: Tuple[Tuple[int, ...], ...] = tuple(net_cells)
+        self._cell_nets: Tuple[Tuple[int, ...], ...] = tuple(cell_nets)
+        self._name_to_cell: Dict[str, int] = {
+            name: i for i, name in enumerate(self._cell_names)
+        }
+        self._name_to_net: Dict[str, int] = {
+            name: i for i, name in enumerate(self._net_names)
+        }
+        self._total_pins = sum(self._cell_pin_counts)
+
+    # ------------------------------------------------------------------
+    # Sizes and global statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """|V| — number of cells including fixed pads."""
+        return len(self._cell_names)
+
+    @property
+    def num_nets(self) -> int:
+        """|E| — number of nets."""
+        return len(self._net_names)
+
+    @property
+    def num_pins(self) -> int:
+        """Total pin count over all cells."""
+        return self._total_pins
+
+    @property
+    def num_incidences(self) -> int:
+        """Total number of (cell, net) incidences (connected pins)."""
+        return sum(len(nets) for nets in self._cell_nets)
+
+    @property
+    def average_pins_per_cell(self) -> float:
+        """``A(G)`` from the paper: total pins divided by |V|."""
+        if not self._cell_names:
+            raise NetlistError("average_pins_per_cell of an empty netlist")
+        return self._total_pins / len(self._cell_names)
+
+    # ------------------------------------------------------------------
+    # Cell accessors
+    # ------------------------------------------------------------------
+    def cell(self, index: int) -> Cell:
+        """Read-only view of cell ``index``."""
+        return Cell(
+            index=index,
+            name=self._cell_names[index],
+            area=self._cell_areas[index],
+            pin_count=self._cell_pin_counts[index],
+            fixed=self._cell_fixed[index],
+        )
+
+    def cells(self) -> Iterator[Cell]:
+        """Iterate over all cells as read-only views."""
+        for index in range(self.num_cells):
+            yield self.cell(index)
+
+    def cell_name(self, index: int) -> str:
+        """Name of cell ``index``."""
+        return self._cell_names[index]
+
+    def cell_area(self, index: int) -> float:
+        """Placement area of cell ``index``."""
+        return self._cell_areas[index]
+
+    def cell_pin_count(self, index: int) -> int:
+        """Pin count of cell ``index`` (explicit or incidence degree)."""
+        return self._cell_pin_counts[index]
+
+    def cell_is_fixed(self, index: int) -> bool:
+        """True when cell ``index`` is a fixed terminal (IO pad)."""
+        return self._cell_fixed[index]
+
+    def cell_index(self, name: str) -> int:
+        """Index of the cell called ``name``; raises :class:`NetlistError`."""
+        try:
+            return self._name_to_cell[name]
+        except KeyError:
+            raise NetlistError(f"unknown cell name {name!r}") from None
+
+    def nets_of_cell(self, index: int) -> Tuple[int, ...]:
+        """Indices of nets incident to cell ``index``."""
+        return self._cell_nets[index]
+
+    def cell_degree(self, index: int) -> int:
+        """Number of nets incident to cell ``index``."""
+        return len(self._cell_nets[index])
+
+    def movable_cells(self) -> List[int]:
+        """Indices of all non-fixed cells."""
+        return [i for i in range(self.num_cells) if not self._cell_fixed[i]]
+
+    def fixed_cells(self) -> List[int]:
+        """Indices of all fixed cells (pads)."""
+        return [i for i in range(self.num_cells) if self._cell_fixed[i]]
+
+    # ------------------------------------------------------------------
+    # Net accessors
+    # ------------------------------------------------------------------
+    def net(self, index: int) -> Net:
+        """Read-only view of net ``index``."""
+        return Net(index=index, name=self._net_names[index], cells=self._net_cells[index])
+
+    def nets(self) -> Iterator[Net]:
+        """Iterate over all nets as read-only views."""
+        for index in range(self.num_nets):
+            yield self.net(index)
+
+    def net_name(self, index: int) -> str:
+        """Name of net ``index``."""
+        return self._net_names[index]
+
+    def net_index(self, name: str) -> int:
+        """Index of the net called ``name``; raises :class:`NetlistError`."""
+        try:
+            return self._name_to_net[name]
+        except KeyError:
+            raise NetlistError(f"unknown net name {name!r}") from None
+
+    def cells_of_net(self, index: int) -> Tuple[int, ...]:
+        """Member cell indices of net ``index``."""
+        return self._net_cells[index]
+
+    def net_degree(self, index: int) -> int:
+        """|e| — number of pins on net ``index``."""
+        return len(self._net_cells[index])
+
+    # ------------------------------------------------------------------
+    # Neighborhood
+    # ------------------------------------------------------------------
+    def neighbors(self, index: int) -> List[int]:
+        """Distinct cells sharing at least one net with cell ``index``."""
+        seen = {index}
+        result: List[int] = []
+        for net in self._cell_nets[index]:
+            for other in self._net_cells[net]:
+                if other not in seen:
+                    seen.add(other)
+                    result.append(other)
+        return result
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Netlist(cells={self.num_cells}, nets={self.num_nets}, "
+            f"pins={self.num_pins})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Netlist):
+            return NotImplemented
+        return (
+            self._cell_names == other._cell_names
+            and self._cell_areas == other._cell_areas
+            and self._cell_pin_counts == other._cell_pin_counts
+            and self._cell_fixed == other._cell_fixed
+            and self._net_names == other._net_names
+            and self._net_cells == other._net_cells
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._cell_names, self._net_cells))

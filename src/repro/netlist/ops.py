@@ -1,0 +1,281 @@
+"""Group-level operations on netlists.
+
+These are the primitives the metrics and the finder are built from: net cut
+``T(C)``, group pin counts, boundary exploration, induced sub-netlists, and
+an incremental :class:`PrefixScanner` that evaluates every prefix of a linear
+ordering in time linear in the total pin count (the work Phase II needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.hypergraph import Netlist
+
+
+def _as_set(group: Iterable[int]) -> Set[int]:
+    return group if isinstance(group, set) else set(group)
+
+
+def cut_size(netlist: Netlist, group: Iterable[int]) -> int:
+    """``T(C)``: number of nets with pins both inside and outside ``group``."""
+    members = _as_set(group)
+    if not members:
+        return 0
+    seen_nets: Set[int] = set()
+    cut = 0
+    for cell in members:
+        for net in netlist.nets_of_cell(cell):
+            if net in seen_nets:
+                continue
+            seen_nets.add(net)
+            cells = netlist.cells_of_net(net)
+            inside = sum(1 for c in cells if c in members)
+            if 0 < inside < len(cells):
+                cut += 1
+    return cut
+
+
+def boundary_nets(netlist: Netlist, group: Iterable[int]) -> List[int]:
+    """Indices of the nets that cross the boundary of ``group``."""
+    members = _as_set(group)
+    result: List[int] = []
+    seen: Set[int] = set()
+    for cell in members:
+        for net in netlist.nets_of_cell(cell):
+            if net in seen:
+                continue
+            seen.add(net)
+            cells = netlist.cells_of_net(net)
+            inside = sum(1 for c in cells if c in members)
+            if 0 < inside < len(cells):
+                result.append(net)
+    return result
+
+
+def internal_nets(netlist: Netlist, group: Iterable[int]) -> List[int]:
+    """Indices of nets entirely contained in ``group``."""
+    members = _as_set(group)
+    result: List[int] = []
+    seen: Set[int] = set()
+    for cell in members:
+        for net in netlist.nets_of_cell(cell):
+            if net in seen:
+                continue
+            seen.add(net)
+            if all(c in members for c in netlist.cells_of_net(net)):
+                result.append(net)
+    return result
+
+
+def external_pin_count(netlist: Netlist, net: int, group: Iterable[int]) -> int:
+    """``lambda(e)``: pins of ``net`` lying outside ``group``."""
+    members = _as_set(group)
+    return sum(1 for c in netlist.cells_of_net(net) if c not in members)
+
+
+def group_pin_count(netlist: Netlist, group: Iterable[int]) -> int:
+    """Total pins of the cells in ``group`` (explicit pin counts honored)."""
+    return sum(netlist.cell_pin_count(c) for c in group)
+
+
+def neighbors_of_group(netlist: Netlist, group: Iterable[int]) -> List[int]:
+    """Distinct cells outside ``group`` sharing a net with it."""
+    members = _as_set(group)
+    seen: Set[int] = set()
+    result: List[int] = []
+    for cell in members:
+        for net in netlist.nets_of_cell(cell):
+            for other in netlist.cells_of_net(net):
+                if other not in members and other not in seen:
+                    seen.add(other)
+                    result.append(other)
+    return result
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Summary statistics of one cell group.
+
+    Attributes:
+        size: |C|, number of cells.
+        cut: T(C), nets crossing the boundary.
+        pins: total pins of cells in C.
+        internal_nets: nets fully inside C.
+        avg_pins: A_C = pins / size.
+    """
+
+    size: int
+    cut: int
+    pins: int
+    internal_nets: int
+    avg_pins: float
+
+
+def group_stats(netlist: Netlist, group: Iterable[int]) -> GroupStats:
+    """Compute :class:`GroupStats` for ``group`` in one pass."""
+    members = _as_set(group)
+    if not members:
+        raise NetlistError("group_stats of an empty group")
+    seen: Set[int] = set()
+    cut = 0
+    internal = 0
+    for cell in members:
+        for net in netlist.nets_of_cell(cell):
+            if net in seen:
+                continue
+            seen.add(net)
+            cells = netlist.cells_of_net(net)
+            inside = sum(1 for c in cells if c in members)
+            if inside == len(cells):
+                internal += 1
+            elif inside > 0:
+                cut += 1
+    pins = group_pin_count(netlist, members)
+    return GroupStats(
+        size=len(members),
+        cut=cut,
+        pins=pins,
+        internal_nets=internal,
+        avg_pins=pins / len(members),
+    )
+
+
+def induced_netlist(
+    netlist: Netlist, group: Iterable[int]
+) -> Tuple[Netlist, Dict[int, int]]:
+    """Sub-netlist induced by ``group``.
+
+    Nets are restricted to their members inside ``group``; nets left with
+    fewer than two pins are dropped.  Returns the sub-netlist and a mapping
+    from original cell index to new index.
+    """
+    from repro.netlist.builder import NetlistBuilder
+
+    members = sorted(_as_set(group))
+    if not members:
+        raise NetlistError("induced_netlist of an empty group")
+    mapping: Dict[int, int] = {}
+    builder = NetlistBuilder()
+    for cell in members:
+        view = netlist.cell(cell)
+        mapping[cell] = builder.add_cell(
+            name=view.name,
+            area=view.area,
+            pin_count=None,  # recomputed from restricted incidences
+            fixed=view.fixed,
+        )
+    member_set = set(members)
+    seen: Set[int] = set()
+    for cell in members:
+        for net in netlist.nets_of_cell(cell):
+            if net in seen:
+                continue
+            seen.add(net)
+            inside = [c for c in netlist.cells_of_net(net) if c in member_set]
+            if len(inside) >= 2:
+                builder.add_net(netlist.net_name(net), [mapping[c] for c in inside])
+    return builder.build(), mapping
+
+
+def connected_components(netlist: Netlist) -> List[List[int]]:
+    """Connected components of the netlist (cells connected through nets)."""
+    seen = [False] * netlist.num_cells
+    components: List[List[int]] = []
+    for start in range(netlist.num_cells):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        component = []
+        while stack:
+            cell = stack.pop()
+            component.append(cell)
+            for net in netlist.nets_of_cell(cell):
+                for other in netlist.cells_of_net(net):
+                    if not seen[other]:
+                        seen[other] = True
+                        stack.append(other)
+        components.append(component)
+    return components
+
+
+class PrefixScanner:
+    """Incrementally track cut and pin statistics of ordering prefixes.
+
+    Feed cells one by one with :meth:`add`; after each addition the current
+    prefix ``C_k`` statistics are available in O(1).  Total work over a whole
+    ordering is proportional to the pin count of the added cells, which gives
+    Phase II its O(Z) scan.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self._netlist = netlist
+        self._inside_count: Dict[int, int] = {}
+        self._in_group: Set[int] = set()
+        self._cut = 0
+        self._pins = 0
+        self._internal = 0
+
+    @property
+    def size(self) -> int:
+        """Current prefix size |C_k|."""
+        return len(self._in_group)
+
+    @property
+    def cut(self) -> int:
+        """Current prefix cut T(C_k)."""
+        return self._cut
+
+    @property
+    def pins(self) -> int:
+        """Total pins of the current prefix."""
+        return self._pins
+
+    @property
+    def internal_nets(self) -> int:
+        """Nets fully inside the current prefix."""
+        return self._internal
+
+    @property
+    def avg_pins(self) -> float:
+        """A_C of the current prefix."""
+        if not self._in_group:
+            raise NetlistError("avg_pins of an empty prefix")
+        return self._pins / len(self._in_group)
+
+    def __contains__(self, cell: int) -> bool:
+        return cell in self._in_group
+
+    def add(self, cell: int) -> None:
+        """Extend the prefix with ``cell`` and update all statistics."""
+        if cell in self._in_group:
+            raise NetlistError(f"cell {cell} added to prefix twice")
+        self._in_group.add(cell)
+        self._pins += self._netlist.cell_pin_count(cell)
+        for net in self._netlist.nets_of_cell(cell):
+            degree = self._netlist.net_degree(net)
+            inside = self._inside_count.get(net, 0) + 1
+            self._inside_count[net] = inside
+            if inside == 1:
+                if degree > 1:
+                    self._cut += 1  # net becomes crossing
+                else:
+                    self._internal += 1  # single-pin net is trivially internal
+            elif inside == degree:
+                self._cut -= 1  # net fully absorbed
+                self._internal += 1
+
+    def stats(self) -> GroupStats:
+        """Snapshot of the current prefix as :class:`GroupStats`."""
+        if not self._in_group:
+            raise NetlistError("stats of an empty prefix")
+        return GroupStats(
+            size=self.size,
+            cut=self._cut,
+            pins=self._pins,
+            internal_nets=self._internal,
+            avg_pins=self.avg_pins,
+        )

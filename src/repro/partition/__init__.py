@@ -1,0 +1,28 @@
+"""Hypergraph partitioning substrate.
+
+The paper's Phase II/III "can be integrated with other linear ordering
+generation methods [Alpert & Kahng 1996]"; the classic alternative source
+of orderings is recursive min-cut bisection.  This package provides:
+
+* :mod:`repro.partition.fm` — the Fiduccia-Mattheyses move-based min-cut
+  bisection heuristic with gain buckets and balance constraints;
+* :mod:`repro.partition.bisection` — recursive bisection, the derived
+  linear ordering, and the classic bisection-based Rent-exponent estimator
+  (a cross-check for the paper's ordering-based estimator).
+"""
+
+from repro.partition.fm import FMPartitioner, PartitionResult, fm_bisect
+from repro.partition.bisection import (
+    bisection_ordering,
+    estimate_rent_exponent_bisection,
+    recursive_bisection,
+)
+
+__all__ = [
+    "FMPartitioner",
+    "PartitionResult",
+    "fm_bisect",
+    "bisection_ordering",
+    "estimate_rent_exponent_bisection",
+    "recursive_bisection",
+]

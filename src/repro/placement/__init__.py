@@ -1,0 +1,32 @@
+"""Placement substrate.
+
+A global analytic placer in the style the paper's experiments rely on: a
+star/clique quadratic formulation solved with conjugate gradients, followed
+by area-weighted recursive spreading and simple row legalization.  The key
+behaviour for the reproduction is that *highly connected cells are pulled
+close together* — which turns GTLs into spatial clusters (Figs 4, 6) and
+routing hotspots (Fig 1) — and that *cell inflation* inside GTLs forces the
+spreading step to give those cells more room (Fig 7).
+"""
+
+from repro.placement.region import Die
+from repro.placement.pads import assign_pad_positions
+from repro.placement.quadratic import solve_quadratic_placement
+from repro.placement.spreading import diffuse_density, make_fillers, relieve_density, spread_cells
+from repro.placement.legalize import legalize_rows
+from repro.placement.inflation import inflate_cells
+from repro.placement.placer import Placement, place
+
+__all__ = [
+    "Die",
+    "assign_pad_positions",
+    "solve_quadratic_placement",
+    "spread_cells",
+    "diffuse_density",
+    "make_fillers",
+    "relieve_density",
+    "legalize_rows",
+    "inflate_cells",
+    "Placement",
+    "place",
+]

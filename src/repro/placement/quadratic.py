@@ -1,0 +1,184 @@
+"""Quadratic (analytic) global placement.
+
+Minimizes the weighted sum of squared edge lengths.  Nets are decomposed
+into two-point springs:
+
+* nets with up to ``clique_limit`` pins become cliques with the standard
+  ``2 / (deg * (deg - 1))`` weights (total net weight 1);
+* larger nets become rings over their pins (each pin two springs), keeping
+  the system sparse while still pulling the net together.
+
+The two axes decouple into independent linear systems ``L x = b`` over the
+movable cells, with fixed pads contributing to the diagonal and the right-
+hand side.  Systems are solved with scipy's conjugate gradients; a small
+diagonal regularization anchored at the die center keeps the system
+positive definite even when a component touches no pad.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse
+import scipy.sparse.linalg
+
+from repro.errors import PlacementError
+from repro.netlist.hypergraph import Netlist
+from repro.placement.region import Die
+
+
+def solve_quadratic_placement(
+    netlist: Netlist,
+    die: Die,
+    pad_positions: Dict[int, Tuple[float, float]],
+    clique_limit: int = 5,
+    anchor_weight: float = 1e-6,
+    anchors: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    anchor_mode: str = "relative",
+    tol: float = 1e-7,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve the quadratic placement; returns per-cell ``(x, y)`` arrays.
+
+    Args:
+        netlist: the design.
+        die: placement region.
+        pad_positions: coordinates of every fixed cell.
+        clique_limit: largest net modeled as a clique (rings beyond).
+        anchor_weight: anchor spring strength.  With ``anchors=None`` this
+            is a tiny absolute regularization toward the die center.  With
+            explicit anchors it is *relative*: each cell's anchor spring is
+            ``anchor_weight`` times the total weight of its incident net
+            springs, so the wirelength-vs-density balance is uniform across
+            cells of different connectivity (1.0 = anchor as strong as all
+            nets combined; small values let connected groups contract).
+        anchors: per-cell ``(x, y)`` anchor coordinates from a previous
+            spreading step.  Anchored re-solves are how the placer iterates
+            between wirelength optimization and density control.
+        anchor_mode: ``"relative"`` (anchor spring proportional to the
+            cell's incident net weight — every cell contracts by the same
+            geometric fraction) or ``"absolute"`` (one spring constant for
+            all cells — highly connected cells overcome their anchor and
+            contract harder, which is how tangled logic ends up packed
+            more tightly than ordinary logic).
+        tol: conjugate-gradient tolerance.
+
+    Fixed cells keep their ``pad_positions`` coordinates in the output.
+    """
+    num_cells = netlist.num_cells
+    fixed_mask = np.zeros(num_cells, dtype=bool)
+    for cell, _ in pad_positions.items():
+        fixed_mask[cell] = True
+    for cell in range(num_cells):
+        if netlist.cell_is_fixed(cell) and not fixed_mask[cell]:
+            raise PlacementError(f"fixed cell {cell} has no pad position")
+
+    movable = np.flatnonzero(~fixed_mask)
+    if movable.size == 0:
+        x = np.zeros(num_cells)
+        y = np.zeros(num_cells)
+        for cell, (px, py) in pad_positions.items():
+            x[cell], y[cell] = px, py
+        return x, y
+    index_of = -np.ones(num_cells, dtype=np.int64)
+    index_of[movable] = np.arange(movable.size)
+
+    fixed_x = np.zeros(num_cells)
+    fixed_y = np.zeros(num_cells)
+    for cell, (px, py) in pad_positions.items():
+        fixed_x[cell], fixed_y[cell] = px, py
+
+    rows, cols, vals = [], [], []
+    diag = np.zeros(movable.size)
+    bx = np.zeros(movable.size)
+    by = np.zeros(movable.size)
+
+    def add_spring(a: int, b: int, weight: float) -> None:
+        a_mov, b_mov = not fixed_mask[a], not fixed_mask[b]
+        if a_mov:
+            ia = index_of[a]
+            diag[ia] += weight
+        if b_mov:
+            ib = index_of[b]
+            diag[ib] += weight
+        if a_mov and b_mov:
+            rows.append(index_of[a])
+            cols.append(index_of[b])
+            vals.append(-weight)
+            rows.append(index_of[b])
+            cols.append(index_of[a])
+            vals.append(-weight)
+        elif a_mov:
+            bx[index_of[a]] += weight * fixed_x[b]
+            by[index_of[a]] += weight * fixed_y[b]
+        elif b_mov:
+            bx[index_of[b]] += weight * fixed_x[a]
+            by[index_of[b]] += weight * fixed_y[a]
+
+    for net in range(netlist.num_nets):
+        cells = netlist.cells_of_net(net)
+        degree = len(cells)
+        if degree < 2:
+            continue
+        if degree <= clique_limit:
+            weight = 2.0 / (degree * (degree - 1))
+            for i in range(degree):
+                for j in range(i + 1, degree):
+                    add_spring(cells[i], cells[j], weight)
+        else:
+            weight = 1.0 / degree
+            for i in range(degree):
+                add_spring(cells[i], cells[(i + 1) % degree], weight)
+
+    # Anchor springs: absolute center regularization without anchors,
+    # connectivity-relative anchors otherwise.
+    if anchors is None:
+        center_x, center_y = die.center
+        spring = np.full(movable.size, anchor_weight)
+        target_x = np.full(movable.size, center_x)
+        target_y = np.full(movable.size, center_y)
+    else:
+        anchor_x, anchor_y = anchors
+        if anchor_mode == "relative":
+            spring = anchor_weight * np.maximum(diag, 1e-12)
+        elif anchor_mode == "absolute":
+            spring = np.full(movable.size, anchor_weight)
+        else:
+            raise PlacementError(f"unknown anchor_mode {anchor_mode!r}")
+        # Isolated cells (no nets) get a unit spring so they stay put.
+        spring[diag == 0] = 1.0
+        target_x = np.asarray(anchor_x, dtype=float)[movable]
+        target_y = np.asarray(anchor_y, dtype=float)[movable]
+    diag += spring
+    bx += spring * target_x
+    by += spring * target_y
+
+    n = movable.size
+    laplacian = scipy.sparse.coo_matrix(
+        (vals, (rows, cols)), shape=(n, n)
+    ).tocsr()
+    laplacian += scipy.sparse.diags(diag)
+
+    solution_x = _solve(laplacian, bx, tol)
+    solution_y = _solve(laplacian, by, tol)
+
+    x = fixed_x.copy()
+    y = fixed_y.copy()
+    x[movable] = solution_x
+    y[movable] = solution_y
+    x = np.clip(x, 0.0, die.width)
+    y = np.clip(y, 0.0, die.height)
+    return x, y
+
+
+def _solve(matrix, rhs: np.ndarray, tol: float) -> np.ndarray:
+    solution, info = scipy.sparse.linalg.cg(matrix, rhs, rtol=tol, maxiter=2000)
+    if info > 0:
+        # CG hit maxiter: the partial solution is still a usable placement
+        # seed, but surface hard failures.
+        residual = np.linalg.norm(matrix @ solution - rhs)
+        if residual > 1e-3 * max(np.linalg.norm(rhs), 1.0):
+            raise PlacementError(f"conjugate gradients stalled (residual {residual:g})")
+    elif info < 0:
+        raise PlacementError("conjugate gradients failed (bad system)")
+    return solution

@@ -1,0 +1,55 @@
+"""Die (placement region) model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlacementError
+
+
+@dataclass(frozen=True)
+class Die:
+    """Rectangular placement region ``[0, width] x [0, height]``.
+
+    Attributes:
+        width: die width in placement units.
+        height: die height.
+        num_rows: standard-cell rows used by legalization.
+    """
+
+    width: float
+    height: float
+    num_rows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise PlacementError("die dimensions must be positive")
+        if self.num_rows < 0:
+            raise PlacementError("num_rows must be >= 0")
+
+    @property
+    def area(self) -> float:
+        """Total die area."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple:
+        """Center point of the die."""
+        return (self.width / 2.0, self.height / 2.0)
+
+    def clamp(self, x: float, y: float) -> tuple:
+        """Clamp a point into the die."""
+        return (min(max(x, 0.0), self.width), min(max(y, 0.0), self.height))
+
+    @classmethod
+    def for_area(
+        cls, total_cell_area: float, utilization: float = 0.6, aspect: float = 1.0
+    ) -> "Die":
+        """A die sized so cells fill ``utilization`` of it."""
+        if not 0 < utilization <= 1:
+            raise PlacementError("utilization must be in (0, 1]")
+        if total_cell_area <= 0:
+            raise PlacementError("total_cell_area must be positive")
+        area = total_cell_area / utilization
+        width = (area * aspect) ** 0.5
+        return cls(width=width, height=area / width)

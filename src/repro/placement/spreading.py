@@ -1,0 +1,315 @@
+"""Area-weighted recursive spreading.
+
+Quadratic placement piles cells up near the die center; spreading
+redistributes them across the die while preserving their relative order —
+the role look-ahead legalization plays in analytic placers.  We use
+recursive area bisection: sort cells along the wider axis, split the region
+at the area-weighted median, recurse.  Because the split is *area*-weighted,
+inflating a group of cells (Fig 7's congestion mitigation) automatically
+buys that group more die area and pushes its members apart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.placement.region import Die
+
+
+def spread_cells(
+    x: np.ndarray,
+    y: np.ndarray,
+    areas: Sequence[float],
+    die: Die,
+    movable: Optional[np.ndarray] = None,
+    leaf_cells: int = 4,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Spread ``movable`` cells uniformly (by area) over the die.
+
+    Args:
+        x, y: global-placement coordinates (all cells).
+        areas: per-cell areas (inflated areas included).
+        die: the placement region.
+        movable: indices to spread (defaults to all cells).
+        leaf_cells: recursion stops at partitions of at most this many
+            cells, which are then placed on the partition's center row.
+
+    Returns new coordinate arrays; non-movable cells are untouched.
+    """
+    x = np.asarray(x, dtype=float).copy()
+    y = np.asarray(y, dtype=float).copy()
+    area_arr = np.asarray(areas, dtype=float)
+    if movable is None:
+        movable = np.arange(len(x))
+    movable = np.asarray(movable, dtype=np.int64)
+    if movable.size == 0:
+        return x, y
+    if np.any(area_arr[movable] <= 0):
+        raise PlacementError("cell areas must be positive for spreading")
+
+    _spread(
+        x,
+        y,
+        area_arr,
+        movable,
+        (0.0, 0.0, die.width, die.height),
+        leaf_cells,
+    )
+    return x, y
+
+
+def _spread(
+    x: np.ndarray,
+    y: np.ndarray,
+    areas: np.ndarray,
+    cells: np.ndarray,
+    region: Tuple[float, float, float, float],
+    leaf_cells: int,
+) -> None:
+    x0, y0, x1, y1 = region
+    if cells.size <= leaf_cells:
+        _place_leaf(x, y, cells, region)
+        return
+
+    width, height = x1 - x0, y1 - y0
+    split_horizontally = width >= height  # split along the wider axis
+    coords = x[cells] if split_horizontally else y[cells]
+    order = cells[np.argsort(coords, kind="stable")]
+
+    total = areas[order].sum()
+    cumulative = np.cumsum(areas[order])
+    # Area-weighted median: first index where half the area is covered.
+    split = int(np.searchsorted(cumulative, total / 2.0)) + 1
+    split = max(1, min(split, order.size - 1))
+    left, right = order[:split], order[split:]
+    fraction = cumulative[split - 1] / total
+
+    # Guard against degenerate slivers.
+    fraction = min(max(fraction, 0.05), 0.95)
+
+    if split_horizontally:
+        xm = x0 + fraction * width
+        _spread(x, y, areas, left, (x0, y0, xm, y1), leaf_cells)
+        _spread(x, y, areas, right, (xm, y0, x1, y1), leaf_cells)
+    else:
+        ym = y0 + fraction * height
+        _spread(x, y, areas, left, (x0, y0, x1, ym), leaf_cells)
+        _spread(x, y, areas, right, (x0, ym, x1, y1), leaf_cells)
+
+
+def relieve_density(
+    x: np.ndarray,
+    y: np.ndarray,
+    areas: Sequence[float],
+    die: Die,
+    movable: Optional[np.ndarray] = None,
+    max_utilization: float = 0.8,
+    min_cells: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Spread only *overfull* regions; leave everything else in place.
+
+    This is the density cap a real placer enforces: connectivity may pull a
+    tangled group together, but never beyond the point where its cells
+    exceed ``max_utilization`` of the local area.  A quadtree is descended
+    over the die; whenever a subtree contains an overfull region, the lowest
+    enclosing node whose own utilization is within the cap is spread
+    uniformly (area-weighted), giving the clump exactly
+    ``area / max_utilization`` of room around its location.
+
+    Because the relief is area-weighted, inflating a group of cells (the
+    paper's congestion fix) directly enlarges the footprint the group is
+    granted — this function is where cell inflation takes effect.
+    """
+    x = np.asarray(x, dtype=float).copy()
+    y = np.asarray(y, dtype=float).copy()
+    area_arr = np.asarray(areas, dtype=float)
+    if movable is None:
+        movable = np.arange(len(x))
+    movable = np.asarray(movable, dtype=np.int64)
+    if movable.size == 0:
+        return x, y
+    if not 0 < max_utilization <= 1:
+        raise PlacementError("max_utilization must be in (0, 1]")
+
+    def recurse(cells: np.ndarray, region: Tuple[float, float, float, float]) -> bool:
+        """Returns True when the subtree still contains unresolved overfill."""
+        x0, y0, x1, y1 = region
+        region_area = (x1 - x0) * (y1 - y0)
+        if cells.size == 0 or region_area <= 0:
+            return False
+        utilization = area_arr[cells].sum() / region_area
+
+        if cells.size <= min_cells:
+            return utilization > max_utilization
+
+        xm, ym = (x0 + x1) / 2.0, (y0 + y1) / 2.0
+        in_right = x[cells] >= xm
+        in_top = y[cells] >= ym
+        quadrants = (
+            (cells[~in_right & ~in_top], (x0, y0, xm, ym)),
+            (cells[in_right & ~in_top], (xm, y0, x1, ym)),
+            (cells[~in_right & in_top], (x0, ym, xm, y1)),
+            (cells[in_right & in_top], (xm, ym, x1, y1)),
+        )
+        unresolved = False
+        for sub_cells, sub_region in quadrants:
+            if recurse(sub_cells, sub_region):
+                unresolved = True
+        if not unresolved and utilization <= max_utilization:
+            return False
+        if utilization <= max_utilization:
+            # Lowest enclosing node with room: spread the whole subtree.
+            _spread(x, y, area_arr, cells, region, leaf_cells=4)
+            return False
+        return True
+
+    if recurse(movable, (0.0, 0.0, die.width, die.height)):
+        # The die itself is overfull; full uniform spreading is the best
+        # we can do.
+        _spread(x, y, area_arr, movable, (0.0, 0.0, die.width, die.height), 4)
+    return x, y
+
+
+def diffuse_density(
+    x: np.ndarray,
+    y: np.ndarray,
+    areas: Sequence[float],
+    die: Die,
+    movable: Optional[np.ndarray] = None,
+    max_utilization: float = 0.8,
+    bins: Tuple[int, int] = (32, 32),
+    max_iterations: int = 100,
+    tolerance: float = 1.05,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Poisson-based density diffusion (ePlace-style, capped).
+
+    Cells flow down the gradient of a potential whose Laplacian is the
+    *overflow* density (local utilization above ``max_utilization``), so
+    only overfull regions push cells out and neighboring regions absorb
+    them; regions already within the cap are left essentially alone.  This
+    preserves locality — no re-sorting, no dilution — which makes it the
+    right density-relief step after the contraction solve: a tangled group
+    that contracted beyond the cap expands to a footprint of
+    ``area / max_utilization`` around its own location.
+
+    Because overflow is measured in *area*, inflated cells claim
+    proportionally more footprint: this function is where the paper's cell
+    inflation takes effect.
+    """
+    import scipy.fft
+
+    x = np.asarray(x, dtype=float).copy()
+    y = np.asarray(y, dtype=float).copy()
+    area_arr = np.asarray(areas, dtype=float)
+    if movable is None:
+        movable = np.arange(len(x))
+    movable = np.asarray(movable, dtype=np.int64)
+    if movable.size == 0:
+        return x, y
+    if not 0 < max_utilization <= 1:
+        raise PlacementError("max_utilization must be in (0, 1]")
+
+    nx, ny = bins
+    bin_w = die.width / nx
+    bin_h = die.height / ny
+    bin_area = bin_w * bin_h
+    weights = area_arr[movable]
+
+    # Laplacian eigenvalues for the DCT (Neumann boundary) solve.
+    lam = (
+        (2.0 * np.cos(np.pi * np.arange(nx) / nx) - 2.0) / bin_w**2
+    )[:, None] + ((2.0 * np.cos(np.pi * np.arange(ny) / ny) - 2.0) / bin_h**2)[None, :]
+    lam[0, 0] = 1.0  # avoided below (mean mode forced to zero)
+
+    max_step = 0.49 * min(bin_w, bin_h)
+    for _ in range(max_iterations):
+        ix = np.clip((x[movable] / bin_w).astype(int), 0, nx - 1)
+        iy = np.clip((y[movable] / bin_h).astype(int), 0, ny - 1)
+        density = np.zeros((nx, ny))
+        np.add.at(density, (ix, iy), weights)
+        density /= bin_area
+
+        overflow = np.maximum(density - max_utilization, 0.0)
+        if overflow.max() <= max_utilization * (tolerance - 1.0):
+            break
+
+        source = overflow - overflow.mean()
+        source_hat = scipy.fft.dctn(source, type=2, norm="ortho")
+        phi_hat = source_hat / lam
+        phi_hat[0, 0] = 0.0
+        phi = scipy.fft.idctn(phi_hat, type=2, norm="ortho")
+
+        grad_x = np.zeros_like(phi)
+        grad_x[1:-1, :] = (phi[2:, :] - phi[:-2, :]) / (2.0 * bin_w)
+        grad_y = np.zeros_like(phi)
+        grad_y[:, 1:-1] = (phi[:, 2:] - phi[:, :-2]) / (2.0 * bin_h)
+
+        # With phi = laplacian^-1(overflow), grad(phi) points away from
+        # overfull regions (1D check: phi'' = delta -> phi' = sign(x)/2).
+        dx = grad_x[ix, iy]
+        dy = grad_y[ix, iy]
+        magnitude = np.hypot(dx, dy)
+        # Normalize so cells in the congested tail move a full step, then
+        # cap per-cell displacement (normalizing by the single largest
+        # gradient would make everything else crawl and stall convergence).
+        reference = float(np.percentile(magnitude[magnitude > 0], 90)) if np.any(
+            magnitude > 0
+        ) else 0.0
+        if reference <= 0:
+            break
+        scale = max_step / reference
+        step_x = np.clip(scale * dx, -max_step, max_step)
+        step_y = np.clip(scale * dy, -max_step, max_step)
+        x[movable] = np.clip(x[movable] + step_x, 0.0, die.width)
+        y[movable] = np.clip(y[movable] + step_y, 0.0, die.height)
+    return x, y
+
+
+def make_fillers(
+    total_cell_area: float,
+    die: Die,
+    mean_cell_area: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Whitespace filler cells on a uniform grid.
+
+    Real placers model whitespace explicitly so that local density stays at
+    the *target utilization* rather than being squeezed by area-weighted
+    spreading.  Fillers have no connectivity; they only occupy area during
+    spreading/diffusion.  Returns ``(x, y, areas)`` arrays (possibly empty).
+    """
+    whitespace = die.area - total_cell_area
+    if whitespace <= 0 or mean_cell_area <= 0:
+        return np.empty(0), np.empty(0), np.empty(0)
+    count = int(whitespace / mean_cell_area)
+    if count == 0:
+        return np.empty(0), np.empty(0), np.empty(0)
+    side = max(1, int(np.ceil(np.sqrt(count))))
+    gx, gy = np.meshgrid(
+        (np.arange(side) + 0.5) * die.width / side,
+        (np.arange(side) + 0.5) * die.height / side,
+    )
+    fx = gx.ravel()[:count]
+    fy = gy.ravel()[:count]
+    fareas = np.full(count, whitespace / count)
+    return fx, fy, fareas
+
+
+def _place_leaf(
+    x: np.ndarray,
+    y: np.ndarray,
+    cells: np.ndarray,
+    region: Tuple[float, float, float, float],
+) -> None:
+    x0, y0, x1, y1 = region
+    count = cells.size
+    if count == 0:
+        return
+    # Evenly space leaf cells along the region's center line, preserving
+    # their x order for determinism.
+    order = cells[np.argsort(x[cells], kind="stable")]
+    xs = x0 + (np.arange(count) + 0.5) * (x1 - x0) / count
+    x[order] = xs
+    y[order] = (y0 + y1) / 2.0

@@ -1,0 +1,20 @@
+"""Routing-congestion substrate.
+
+A RUDY-style probabilistic congestion estimator on a tile grid plus the
+congestion statistics the paper reports for Figures 1 and 7: the number of
+nets passing through >=100% / >=90% congested tiles and the average
+congestion of the worst 20% of nets.
+"""
+
+from repro.routing.congestion import CongestionMap, build_congestion_map
+from repro.routing.stats import CongestionStats, congestion_stats
+from repro.routing.wirelength import total_wirelength, wirelength_report
+
+__all__ = [
+    "CongestionMap",
+    "build_congestion_map",
+    "CongestionStats",
+    "congestion_stats",
+    "total_wirelength",
+    "wirelength_report",
+]

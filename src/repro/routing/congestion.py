@@ -1,0 +1,157 @@
+"""RUDY congestion estimation.
+
+RUDY (Rectangular Uniform wire DensitY) spreads each net's expected wiring
+demand — its half-perimeter wirelength — uniformly over its bounding box.
+Summing over nets gives a per-tile demand map whose ratio to tile capacity
+is the congestion (occupancy) the paper's Figure 1/7 heat maps show.  RUDY
+is the standard placement-stage congestion model; it reproduces the paper's
+phenomenon (tightly packed tangled logic => demand far above capacity) with
+no global router in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.netlist.hypergraph import Netlist
+from repro.placement.placer import Placement
+
+
+@dataclass
+class CongestionMap:
+    """Per-tile wiring demand over a placed design.
+
+    Attributes:
+        demand: ``(nx, ny)`` array of wiring demand per tile.
+        capacity: scalar routing capacity of one tile.
+        tile_width, tile_height: tile dimensions.
+        net_boxes: per-net bounding boxes in tile coordinates
+            ``(ix0, iy0, ix1, iy1)`` inclusive, or None for ignored nets.
+    """
+
+    demand: np.ndarray
+    capacity: float
+    tile_width: float
+    tile_height: float
+    net_boxes: List[Optional[Tuple[int, int, int, int]]]
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """Demand / capacity per tile (1.0 = 100% congested)."""
+        return self.demand / self.capacity
+
+    def net_tiles(self, net: int) -> List[Tuple[int, int]]:
+        """Tiles covered by ``net``'s bounding box (empty for ignored nets)."""
+        box = self.net_boxes[net]
+        if box is None:
+            return []
+        ix0, iy0, ix1, iy1 = box
+        return [(i, j) for i in range(ix0, ix1 + 1) for j in range(iy0, iy1 + 1)]
+
+    def net_congestion(self, net: int) -> float:
+        """Average occupancy of the tiles ``net`` passes through."""
+        box = self.net_boxes[net]
+        if box is None:
+            return 0.0
+        ix0, iy0, ix1, iy1 = box
+        region = self.occupancy[ix0 : ix1 + 1, iy0 : iy1 + 1]
+        return float(region.mean())
+
+    def max_net_occupancy(self, net: int) -> float:
+        """Worst tile occupancy under ``net``'s bounding box."""
+        box = self.net_boxes[net]
+        if box is None:
+            return 0.0
+        ix0, iy0, ix1, iy1 = box
+        return float(self.occupancy[ix0 : ix1 + 1, iy0 : iy1 + 1].max())
+
+
+def build_congestion_map(
+    placement: Placement,
+    grid: Tuple[int, int] = (32, 32),
+    capacity: Optional[float] = None,
+    target_average_occupancy: float = 0.55,
+) -> CongestionMap:
+    """RUDY map of ``placement`` on a ``grid`` of tiles.
+
+    Args:
+        placement: a placed design.
+        grid: ``(nx, ny)`` tile counts.
+        capacity: per-tile routing capacity.  When omitted it is calibrated
+            so the *average* tile occupancy equals
+            ``target_average_occupancy`` — mirroring a technology where the
+            design is routable on average but hotspots overshoot.
+    """
+    nx, ny = grid
+    if nx < 1 or ny < 1:
+        raise PlacementError("grid must be at least 1x1")
+    die = placement.die
+    netlist = placement.netlist
+    tile_w = die.width / nx
+    tile_h = die.height / ny
+    demand = np.zeros((nx, ny))
+    boxes: List[Optional[Tuple[int, int, int, int]]] = []
+
+    for net in range(netlist.num_nets):
+        cells = list(netlist.cells_of_net(net))
+        if len(cells) < 2:
+            boxes.append(None)
+            continue
+        xs = placement.x[cells]
+        ys = placement.y[cells]
+        x0, x1 = float(xs.min()), float(xs.max())
+        y0, y1 = float(ys.min()), float(ys.max())
+        # The wiring demand is the *true* half-perimeter wirelength (with a
+        # small floor for pin access); the box is only the area the demand
+        # is spread over.  Degenerate boxes are widened to half a tile so
+        # stacked pins register, without inflating their demand.
+        hpwl = max(x1 - x0, 0.0) + max(y1 - y0, 0.0)
+        hpwl = max(hpwl, 0.5 * min(tile_w, tile_h) * 0.25)
+        if x1 - x0 < tile_w / 2:
+            mid = (x0 + x1) / 2
+            x0, x1 = mid - tile_w / 4, mid + tile_w / 4
+        if y1 - y0 < tile_h / 2:
+            mid = (y0 + y1) / 2
+            y0, y1 = mid - tile_h / 4, mid + tile_h / 4
+        x0, y0 = die.clamp(x0, y0)
+        x1, y1 = die.clamp(x1, y1)
+
+        box_area = (x1 - x0) * (y1 - y0)
+        density = hpwl / box_area if box_area > 0 else 0.0
+
+        ix0 = min(nx - 1, max(0, int(x0 / tile_w)))
+        ix1 = min(nx - 1, max(0, int(np.nextafter(x1, -np.inf) / tile_w)))
+        iy0 = min(ny - 1, max(0, int(y0 / tile_h)))
+        iy1 = min(ny - 1, max(0, int(np.nextafter(y1, -np.inf) / tile_h)))
+        ix1, iy1 = max(ix0, ix1), max(iy0, iy1)
+        boxes.append((ix0, iy0, ix1, iy1))
+
+        for i in range(ix0, ix1 + 1):
+            tile_x0, tile_x1 = i * tile_w, (i + 1) * tile_w
+            overlap_x = min(x1, tile_x1) - max(x0, tile_x0)
+            if overlap_x <= 0:
+                continue
+            for j in range(iy0, iy1 + 1):
+                tile_y0, tile_y1 = j * tile_h, (j + 1) * tile_h
+                overlap_y = min(y1, tile_y1) - max(y0, tile_y0)
+                if overlap_y <= 0:
+                    continue
+                demand[i, j] += density * overlap_x * overlap_y
+
+    if capacity is None:
+        mean_demand = float(demand.mean())
+        if mean_demand <= 0:
+            capacity = 1.0
+        else:
+            capacity = mean_demand / target_average_occupancy
+    return CongestionMap(
+        demand=demand,
+        capacity=float(capacity),
+        tile_width=tile_w,
+        tile_height=tile_h,
+        net_boxes=boxes,
+    )

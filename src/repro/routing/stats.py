@@ -1,0 +1,83 @@
+"""Congestion statistics in the paper's reporting vocabulary.
+
+Section 5.1.3 quantifies Figure 7 with three numbers:
+
+* nets passing through >=100% congested tiles (179K -> 36K, ~5x),
+* nets passing through >=90% congested tiles (217K -> 113K, ~2x),
+* the "average congestion metric": take the worst 20% congested nets and
+  average the congestion of all routing tiles those nets pass through
+  (136% -> 91%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.congestion import CongestionMap
+
+
+@dataclass(frozen=True)
+class CongestionStats:
+    """Summary statistics of one congestion map.
+
+    Attributes:
+        nets_through_100: nets whose bounding box touches a >=100% tile.
+        nets_through_90: nets whose bounding box touches a >=90% tile.
+        average_congestion: mean tile occupancy over the worst 20% of nets
+            (the paper's "average congestion metric", e.g. 1.36 = 136%).
+        max_occupancy: worst single-tile occupancy.
+        mean_occupancy: average tile occupancy.
+    """
+
+    nets_through_100: int
+    nets_through_90: int
+    average_congestion: float
+    max_occupancy: float
+    mean_occupancy: float
+
+    def summary(self) -> str:
+        """One-line report matching the paper's phrasing."""
+        return (
+            f"nets through 100% tiles: {self.nets_through_100}, "
+            f"through 90% tiles: {self.nets_through_90}, "
+            f"avg congestion (worst 20% nets): {self.average_congestion:.0%}, "
+            f"peak tile occupancy: {self.max_occupancy:.0%}"
+        )
+
+
+def congestion_stats(
+    cmap: CongestionMap, worst_fraction: float = 0.2
+) -> CongestionStats:
+    """Compute :class:`CongestionStats` for ``cmap``."""
+    occupancy = cmap.occupancy
+    through_100 = 0
+    through_90 = 0
+    per_net: list = []
+    for net, box in enumerate(cmap.net_boxes):
+        if box is None:
+            continue
+        ix0, iy0, ix1, iy1 = box
+        region = occupancy[ix0 : ix1 + 1, iy0 : iy1 + 1]
+        peak = float(region.max())
+        if peak >= 1.0:
+            through_100 += 1
+        if peak >= 0.9:
+            through_90 += 1
+        per_net.append(float(region.mean()))
+
+    if per_net:
+        values = np.sort(np.array(per_net))[::-1]
+        count = max(1, int(round(worst_fraction * values.size)))
+        average = float(values[:count].mean())
+    else:
+        average = 0.0
+
+    return CongestionStats(
+        nets_through_100=through_100,
+        nets_through_90=through_90,
+        average_congestion=average,
+        max_occupancy=float(occupancy.max()),
+        mean_occupancy=float(occupancy.mean()),
+    )

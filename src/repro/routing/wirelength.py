@@ -1,0 +1,106 @@
+"""Wirelength models for placed designs.
+
+Placement quality and routing demand are quoted in different wirelength
+models; this module implements the standard ladder:
+
+* **HPWL** — half-perimeter of the net bounding box (lower bound, exact
+  for 2-3 pins);
+* **star** — sum of pin distances to the net's centroid;
+* **clique** — average pairwise Manhattan distance, scaled to the
+  2-pin-equivalent;
+* **spanning tree (RMST)** — Manhattan minimum spanning tree via Prim,
+  the usual router-independent estimate for multi-pin nets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.placement.placer import Placement
+
+
+def _net_points(placement: Placement, net: int) -> np.ndarray:
+    cells = list(placement.netlist.cells_of_net(net))
+    return np.stack([placement.x[cells], placement.y[cells]], axis=1)
+
+
+def hpwl_net(placement: Placement, net: int) -> float:
+    """Half-perimeter wirelength of one net."""
+    points = _net_points(placement, net)
+    if len(points) < 2:
+        return 0.0
+    spans = points.max(axis=0) - points.min(axis=0)
+    return float(spans.sum())
+
+
+def star_net(placement: Placement, net: int) -> float:
+    """Star wirelength: pin-to-centroid Manhattan distances."""
+    points = _net_points(placement, net)
+    if len(points) < 2:
+        return 0.0
+    centroid = points.mean(axis=0)
+    return float(np.abs(points - centroid).sum())
+
+
+def clique_net(placement: Placement, net: int) -> float:
+    """Clique wirelength: mean pairwise distance times (degree - 1)."""
+    points = _net_points(placement, net)
+    degree = len(points)
+    if degree < 2:
+        return 0.0
+    total = 0.0
+    for i in range(degree):
+        deltas = np.abs(points[i + 1 :] - points[i])
+        total += float(deltas.sum())
+    pairs = degree * (degree - 1) / 2
+    return total / pairs * (degree - 1)
+
+
+def rmst_net(placement: Placement, net: int) -> float:
+    """Manhattan minimum spanning tree length (Prim's algorithm)."""
+    points = _net_points(placement, net)
+    degree = len(points)
+    if degree < 2:
+        return 0.0
+    in_tree = np.zeros(degree, dtype=bool)
+    in_tree[0] = True
+    best = np.abs(points - points[0]).sum(axis=1)
+    total = 0.0
+    for _ in range(degree - 1):
+        best_masked = np.where(in_tree, np.inf, best)
+        nxt = int(best_masked.argmin())
+        total += float(best_masked[nxt])
+        in_tree[nxt] = True
+        candidate = np.abs(points - points[nxt]).sum(axis=1)
+        best = np.minimum(best, candidate)
+    return total
+
+
+_MODELS = {
+    "hpwl": hpwl_net,
+    "star": star_net,
+    "clique": clique_net,
+    "rmst": rmst_net,
+}
+
+
+def total_wirelength(
+    placement: Placement,
+    model: str = "hpwl",
+    nets: Optional[Iterable[int]] = None,
+) -> float:
+    """Total wirelength of ``placement`` under the named model."""
+    if model not in _MODELS:
+        raise ReproError(f"unknown wirelength model {model!r}; use {sorted(_MODELS)}")
+    function = _MODELS[model]
+    if nets is None:
+        nets = range(placement.netlist.num_nets)
+    return sum(function(placement, net) for net in nets)
+
+
+def wirelength_report(placement: Placement) -> Dict[str, float]:
+    """All four models for one placement (HPWL <= RMST always)."""
+    return {model: total_wirelength(placement, model) for model in _MODELS}

@@ -1,0 +1,16 @@
+"""Small generic utilities shared across the package."""
+
+from repro.utils.rng import ensure_rng, sample_distinct
+from repro.utils.timer import Timer
+from repro.utils.lazyheap import LazyMaxHeap
+from repro.utils.unionfind import UnionFind
+from repro.utils.tables import format_table
+
+__all__ = [
+    "ensure_rng",
+    "sample_distinct",
+    "Timer",
+    "LazyMaxHeap",
+    "UnionFind",
+    "format_table",
+]

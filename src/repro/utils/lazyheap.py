@@ -1,0 +1,72 @@
+"""A max-heap with lazy decrease/increase-key, keyed by item id.
+
+Phase I of the tangled-logic finder repeatedly extracts the frontier cell
+with the maximum connection weight while weights of many cells change after
+every addition.  A binary heap with *lazy* updates (stale entries are skipped
+at pop time) gives amortized ``O(log n)`` updates without the bookkeeping of
+an indexed heap, matching the ``O(Z log |V|)`` bound of the paper's Phase I.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Hashable, Optional, Tuple
+
+
+class LazyMaxHeap:
+    """Max-heap over ``(primary, secondary)`` priorities with lazy updates.
+
+    Items are arbitrary hashable keys.  ``push`` either inserts a new item or
+    re-prioritizes an existing one.  Ordering: larger ``primary`` wins; ties
+    broken by larger ``secondary``; remaining ties by insertion order (older
+    first), which keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._current: dict = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._current)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._current
+
+    def push(self, item: Hashable, primary: float, secondary: float = 0.0) -> None:
+        """Insert ``item`` or update its priority."""
+        entry = (-primary, -secondary, next(self._counter), item)
+        self._current[item] = (primary, secondary)
+        heapq.heappush(self._heap, entry)
+
+    def discard(self, item: Hashable) -> None:
+        """Remove ``item`` if present (lazily; heap entry is skipped later)."""
+        self._current.pop(item, None)
+
+    def priority(self, item: Hashable) -> Optional[Tuple[float, float]]:
+        """Current ``(primary, secondary)`` priority of ``item`` or ``None``."""
+        return self._current.get(item)
+
+    def pop(self) -> Tuple[Hashable, float, float]:
+        """Remove and return ``(item, primary, secondary)`` with max priority.
+
+        Raises :class:`KeyError` when empty.
+        """
+        while self._heap:
+            neg_primary, neg_secondary, _, item = heapq.heappop(self._heap)
+            live = self._current.get(item)
+            if live is not None and live == (-neg_primary, -neg_secondary):
+                del self._current[item]
+                return item, -neg_primary, -neg_secondary
+        raise KeyError("pop from empty LazyMaxHeap")
+
+    def peek(self) -> Tuple[Hashable, float, float]:
+        """Return the max entry without removing it."""
+        while self._heap:
+            neg_primary, neg_secondary, _, item = self._heap[0]
+            live = self._current.get(item)
+            if live is not None and live == (-neg_primary, -neg_secondary):
+                return item, -neg_primary, -neg_secondary
+            heapq.heappop(self._heap)
+        raise KeyError("peek from empty LazyMaxHeap")

@@ -1,0 +1,31 @@
+"""Wall-clock timing helper used by the experiment harnesses."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+    @property
+    def minutes(self) -> float:
+        """Elapsed time in minutes (the unit Table 2 reports)."""
+        return self.elapsed / 60.0

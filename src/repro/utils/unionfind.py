@@ -1,0 +1,54 @@
+"""Disjoint-set (union-find) structure.
+
+Used by the generators to guarantee connectivity of synthesized blocks and by
+analysis code to group overlapping candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+
+class UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set (no-op if known)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the representative of ``item``'s set."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; return True if they were separate."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def component_count(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return sum(1 for item, parent in self._parent.items() if item == parent)

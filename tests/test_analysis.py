@@ -1,0 +1,93 @@
+"""Tests for curves, ground-truth matching and CSV output."""
+
+import csv
+
+import pytest
+
+from repro.analysis import (
+    agglomeration_curve,
+    match_to_ground_truth,
+    metric_comparison_curves,
+    miss_rate,
+    over_rate,
+    write_csv,
+)
+from repro.finder.result import GTL
+
+
+def _gtl(cells, score=0.1):
+    return GTL(
+        cells=frozenset(cells),
+        size=len(cells),
+        cut=1,
+        ngtl_score=score,
+        gtl_sd_score=score / 2,
+        score=score,
+        seed=0,
+        rent_exponent=0.6,
+    )
+
+
+def test_miss_and_over_rates():
+    truth = frozenset({1, 2, 3, 4})
+    assert miss_rate(truth, {1, 2}) == pytest.approx(0.5)
+    assert over_rate(truth, {1, 2, 3, 4, 5, 6}) == pytest.approx(0.5)
+    assert miss_rate(truth, truth) == 0.0
+    assert over_rate(truth, truth) == 0.0
+
+
+def test_rates_empty_truth():
+    assert miss_rate(frozenset(), {1}) == 0.0
+    assert over_rate(frozenset(), {1}) == 0.0
+
+
+def test_match_to_ground_truth_basic():
+    truth = [frozenset({1, 2, 3}), frozenset({10, 11})]
+    gtls = [_gtl({1, 2, 3}), _gtl({10, 11, 12})]
+    matches = match_to_ground_truth(truth, gtls)
+    assert matches[0].found is gtls[0]
+    assert matches[0].miss == 0.0
+    assert matches[1].over == pytest.approx(0.5)
+    assert all(m.detected for m in matches)
+
+
+def test_match_unmatched_block():
+    truth = [frozenset({1, 2}), frozenset({5, 6})]
+    gtls = [_gtl({1, 2})]
+    matches = match_to_ground_truth(truth, gtls)
+    assert matches[1].found is None
+    assert matches[1].miss == 1.0
+    assert not matches[1].detected
+
+
+def test_match_each_gtl_used_once():
+    truth = [frozenset({1, 2, 3}), frozenset({2, 3, 4})]
+    gtls = [_gtl({1, 2, 3, 4})]
+    matches = match_to_ground_truth(truth, gtls)
+    assert sum(1 for m in matches if m.found is not None) == 1
+
+
+def test_agglomeration_curve_finds_block(small_planted):
+    netlist, truth = small_planted
+    seed = sorted(truth[0])[0]
+    curve = agglomeration_curve(netlist, seed, 500)
+    size, value = curve.minimum
+    assert abs(size - len(truth[0])) <= 3
+    assert value < 0.3
+    assert len(curve.sizes) == len(curve.values)
+
+
+def test_metric_comparison_curves_share_sizes(small_planted):
+    netlist, truth = small_planted
+    seed = sorted(truth[0])[0]
+    curves = metric_comparison_curves(netlist, seed, 400)
+    assert [c.label for c in curves] == ["nGTL-S", "GTL-SD", "ratio-cut"]
+    assert curves[0].sizes == curves[1].sizes == curves[2].sizes
+
+
+def test_write_csv(tmp_path):
+    path = str(tmp_path / "out.csv")
+    write_csv(path, ["a", "b"], [(1, 2), (3, 4)])
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]

@@ -1,0 +1,202 @@
+"""Tests for the extension modules: connectivity baselines, hierarchical
+GTLs, netlist stats, PPM visualization, and the CLI stats command."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.finder import FinderConfig, find_hierarchical_gtls
+from repro.generators import IndustrialSpec, generate_industrial, planted_gtl_graph
+from repro.metrics import adhesion, edge_separability, kl_connectivity_l2
+from repro.netlist import netlist_stats
+from repro.netlist.builder import NetlistBuilder
+
+
+# ---------------------------------------------------------------- (K,L)
+def test_kl_connectivity_clique(two_cliques):
+    # In a 4-clique: each pair has 1 direct edge + 2 common neighbors.
+    assert kl_connectivity_l2(two_cliques, range(4)) == 3
+
+
+def test_kl_connectivity_bridge_weakens(two_cliques):
+    # Across the bridge, pairs like (0, 7) share nothing within length 2.
+    assert kl_connectivity_l2(two_cliques, range(8)) == 0
+
+
+def test_kl_connectivity_path():
+    builder = NetlistBuilder()
+    cells = builder.add_cells(3)
+    builder.add_net(None, [cells[0], cells[1]])
+    builder.add_net(None, [cells[1], cells[2]])
+    netlist = builder.build()
+    # Pair (0, 2): no direct edge, one common neighbor -> K = 1.
+    assert kl_connectivity_l2(netlist, cells) == 1
+
+
+def test_kl_connectivity_validation(triangle):
+    with pytest.raises(MetricError):
+        kl_connectivity_l2(triangle, [0])
+
+
+# ---------------------------------------------------------------- separability
+def test_edge_separability_clique(two_cliques):
+    # 4-clique: min cut between two members is 3 (its degree inside).
+    assert edge_separability(two_cliques, range(4), 0, 1) == 3.0
+
+
+def test_edge_separability_across_bridge(two_cliques):
+    assert edge_separability(two_cliques, range(8), 0, 7) == 1.0
+
+
+def test_edge_separability_disconnected(two_cliques):
+    assert edge_separability(two_cliques, [0, 1, 6, 7], 0, 7) == 0.0
+
+
+def test_edge_separability_validation(two_cliques):
+    with pytest.raises(MetricError):
+        edge_separability(two_cliques, range(4), 0, 0)
+    with pytest.raises(MetricError):
+        edge_separability(two_cliques, range(4), 0, 7)
+
+
+# ---------------------------------------------------------------- adhesion
+def test_adhesion_clique(two_cliques):
+    # 6 pairs, min cut 3 each.
+    assert adhesion(two_cliques, range(4)) == pytest.approx(18.0)
+
+
+def test_adhesion_guard(two_cliques):
+    with pytest.raises(MetricError):
+        adhesion(two_cliques, range(8), max_cells=4)
+    with pytest.raises(MetricError):
+        adhesion(two_cliques, [0])
+
+
+def test_adhesion_higher_for_tangled_group(small_planted):
+    netlist, truth = small_planted
+    block_sample = sorted(truth[0])[:20]
+    outside = [c for c in range(netlist.num_cells) if c not in truth[0]][:20]
+    assert adhesion(netlist, block_sample) > adhesion(netlist, outside)
+
+
+# ---------------------------------------------------------------- hierarchy
+@pytest.fixture(scope="module")
+def nested_design():
+    """Two planted blocks, one twice as dense — flat finder sees both."""
+    return planted_gtl_graph(3000, [120, 400], seed=17)
+
+
+def test_hierarchical_finds_top_level(nested_design):
+    netlist, truth = nested_design
+    forest = find_hierarchical_gtls(
+        netlist, FinderConfig(num_seeds=48, seed=18), max_depth=1
+    )
+    assert forest
+    top_cells = [node.gtl.cells for node in forest]
+    for block in truth:
+        assert any(len(block & cells) / len(block) > 0.9 for cells in top_cells)
+
+
+def test_hierarchical_nodes_nest_properly(nested_design):
+    netlist, _ = nested_design
+    forest = find_hierarchical_gtls(
+        netlist, FinderConfig(num_seeds=48, seed=18), max_depth=2
+    )
+    for node in forest:
+        for descendant in node.walk():
+            if descendant is node:
+                continue
+            assert descendant.gtl.cells < node.gtl.cells
+            assert descendant.gtl.score < node.gtl.score
+            assert descendant.depth > node.depth
+
+
+def test_hierarchical_summary_renders(nested_design):
+    netlist, _ = nested_design
+    forest = find_hierarchical_gtls(
+        netlist, FinderConfig(num_seeds=12, seed=19), max_depth=1
+    )
+    text = forest[0].summary()
+    assert "size=" in text and "score=" in text
+
+
+def test_hierarchical_depth_zero_is_flat(nested_design):
+    netlist, _ = nested_design
+    forest = find_hierarchical_gtls(
+        netlist, FinderConfig(num_seeds=12, seed=19), max_depth=0
+    )
+    assert all(not node.children for node in forest)
+
+
+# ---------------------------------------------------------------- stats
+def test_netlist_stats_values(mixed_netlist):
+    stats = netlist_stats(mixed_netlist)
+    assert stats.num_cells == 4
+    assert stats.num_nets == 3
+    assert stats.num_fixed == 1
+    assert stats.max_net_degree == 3
+    assert stats.num_components == 1
+    assert stats.avg_net_degree == pytest.approx(7 / 3)
+    text = stats.render()
+    assert "net degree distribution" in text
+
+
+def test_netlist_stats_histogram_pools_large():
+    builder = NetlistBuilder()
+    cells = builder.add_cells(15)
+    builder.add_net("big", cells)
+    builder.add_net("small", cells[:2])
+    stats = netlist_stats(builder.build())
+    histogram = dict(stats.net_degree_histogram)
+    assert histogram[">10"] == 1
+    assert histogram["2"] == 1
+
+
+# ---------------------------------------------------------------- visualize
+def test_ppm_congestion_and_placement(tmp_path):
+    from repro.analysis import save_congestion_ppm, save_placement_ppm
+    from repro.placement import place
+    from repro.routing import build_congestion_map
+
+    spec = IndustrialSpec(glue_gates=800, rom_blocks=((4, 8),), num_pads=16)
+    netlist, truth = generate_industrial(spec, seed=20)
+    placement = place(netlist, utilization=0.5)
+    cmap = build_congestion_map(placement, grid=(8, 8))
+
+    cpath = str(tmp_path / "congestion.ppm")
+    save_congestion_ppm(cmap, cpath)
+    header = open(cpath, "rb").read(20)
+    assert header.startswith(b"P6\n")
+
+    ppath = str(tmp_path / "placement.ppm")
+    save_placement_ppm(placement, ppath, groups=[sorted(truth[0])])
+    assert open(ppath, "rb").read(2) == b"P6"
+
+
+def test_write_ppm_validation(tmp_path):
+    from repro.analysis import write_ppm
+
+    with pytest.raises(ValueError):
+        write_ppm(str(tmp_path / "bad.ppm"), np.zeros((4, 4)))
+
+
+def test_heat_color_bands():
+    from repro.analysis.visualize import _heat_color
+
+    assert _heat_color(1.2) == (255, 30, 30)
+    assert _heat_color(0.95) == (255, 200, 40)
+    assert _heat_color(0.0)[2] > _heat_color(0.0)[0]  # blueish when empty
+
+
+# ---------------------------------------------------------------- CLI stats
+def test_cli_stats(tmp_path, capsys):
+    from repro.cli import main
+    from repro.io.hgr import write_hgr
+
+    netlist, _ = planted_gtl_graph(400, [40], seed=21)
+    path = str(tmp_path / "g.hgr")
+    write_hgr(netlist, path)
+    assert main(["stats", path, "--rent"]) == 0
+    output = capsys.readouterr().out
+    assert "cells" in output
+    assert "Rent exponent" in output

@@ -1,0 +1,155 @@
+"""Tests for Phase I — linear ordering generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FinderError
+from repro.finder.ordering import LinearOrderingGrower, grow_linear_ordering
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.ops import cut_size
+
+
+def test_seed_out_of_range(triangle):
+    with pytest.raises(FinderError):
+        LinearOrderingGrower(triangle, 99)
+
+
+def test_fixed_seed_rejected(mixed_netlist):
+    with pytest.raises(FinderError):
+        LinearOrderingGrower(mixed_netlist, 3)  # the pad
+
+
+def test_fixed_seed_allowed_when_included(mixed_netlist):
+    grower = LinearOrderingGrower(mixed_netlist, 3, exclude_fixed=False)
+    assert grower.ordering == [3]
+
+
+def test_ordering_starts_with_seed(triangle):
+    assert grow_linear_ordering(triangle, 1, 3)[0] == 1
+
+
+def test_ordering_has_no_duplicates(two_cliques):
+    ordering = grow_linear_ordering(two_cliques, 0, 8)
+    assert len(ordering) == len(set(ordering)) == 8
+
+
+def test_ordering_stops_at_max_length(two_cliques):
+    assert len(grow_linear_ordering(two_cliques, 0, 5)) == 5
+
+
+def test_ordering_stops_when_component_exhausted():
+    builder = NetlistBuilder()
+    a, b, c, d = builder.add_cells(4)
+    builder.add_net("n1", [a, b])
+    builder.add_net("n2", [c, d])
+    ordering = grow_linear_ordering(builder.build(), 0, 10)
+    assert sorted(ordering) == [0, 1]
+
+
+def test_ordering_prefers_clique_before_bridge(two_cliques):
+    """All of clique A is absorbed before crossing the bridge."""
+    ordering = grow_linear_ordering(two_cliques, 0, 8)
+    assert set(ordering[:4]) == {0, 1, 2, 3}
+
+
+def test_exclude_fixed_cells(mixed_netlist):
+    ordering = grow_linear_ordering(mixed_netlist, 0, 4)
+    assert 3 not in ordering
+
+
+def test_each_added_cell_touches_prefix(two_block_planted):
+    """Every non-seed cell must share a net with the preceding prefix."""
+    netlist, _ = two_block_planted
+    ordering = grow_linear_ordering(netlist, 17, 60)
+    prefix = {ordering[0]}
+    for cell in ordering[1:]:
+        touches = any(
+            any(other in prefix for other in netlist.cells_of_net(net))
+            for net in netlist.nets_of_cell(cell)
+        )
+        assert touches
+        prefix.add(cell)
+
+
+def test_connection_weight_definition(star_netlist):
+    """w(v) = sum over nets touching the group of 1/(|e| - |e∩S| + 1)."""
+    grower = LinearOrderingGrower(star_netlist, 0)
+    # One 5-pin net, 1 pin inside: weight = 1/(5-1+1) = 0.2 per candidate.
+    for candidate in (1, 2, 3, 4):
+        assert grower.connection_weight(candidate) == pytest.approx(0.2)
+
+
+def test_connection_weight_accumulates(two_cliques):
+    grower = LinearOrderingGrower(two_cliques, 0)
+    # Candidate 1 shares exactly one 2-pin net with {0}: weight 1/2.
+    assert grower.connection_weight(1) == pytest.approx(0.5)
+    grower.step()
+    # After absorbing one of {1,2,3}, the remaining clique members share
+    # two nets with the group: weight 1.
+    remaining = [c for c in (1, 2, 3) if c not in set(grower.ordering)]
+    for cell in remaining:
+        assert grower.connection_weight(cell) == pytest.approx(1.0)
+
+
+def test_cut_delta_tracks_brute_force(two_cliques):
+    grower = LinearOrderingGrower(two_cliques, 0)
+    while True:
+        group = set(grower.ordering)
+        base_cut = cut_size(two_cliques, group)
+        # check every frontier candidate
+        for candidate in range(8):
+            if candidate in group:
+                continue
+            weight = grower.connection_weight(candidate)
+            if weight <= 0:
+                continue
+            expected = cut_size(two_cliques, group | {candidate}) - base_cut
+            assert grower.cut_delta(candidate) == expected
+        if grower.step() is None or len(grower.ordering) == 8:
+            break
+
+
+def test_lambda_skip_zero_disables_optimization(small_planted):
+    netlist, truth = small_planted
+    seed = sorted(truth[0])[0]
+    exact = grow_linear_ordering(netlist, seed, 300, lambda_skip=0)
+    skipped = grow_linear_ordering(netlist, seed, 300, lambda_skip=20)
+    # Both should recover the planted block within the first |block| cells.
+    block = truth[0]
+    assert len(set(exact[: len(block)]) & block) / len(block) > 0.95
+    assert len(set(skipped[: len(block)]) & block) / len(block) > 0.95
+
+
+def test_frontier_size(two_cliques):
+    grower = LinearOrderingGrower(two_cliques, 0)
+    assert grower.frontier_size == 3  # rest of clique A
+    grower.step()
+    assert grower.frontier_size == 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_cut_delta_invariant(seed):
+    """cut_delta always equals the brute-force cut difference."""
+    rng = random.Random(seed)
+    builder = NetlistBuilder()
+    num_cells = rng.randint(4, 16)
+    cells = builder.add_cells(num_cells)
+    for i in range(rng.randint(3, 25)):
+        degree = rng.randint(2, min(4, num_cells))
+        builder.add_net(f"n{i}", rng.sample(cells, degree))
+    netlist = builder.build()
+
+    grower = LinearOrderingGrower(netlist, rng.randrange(num_cells), lambda_skip=0)
+    for _ in range(num_cells):
+        group = set(grower.ordering)
+        base = cut_size(netlist, group)
+        for candidate in range(num_cells):
+            if candidate in group or grower.connection_weight(candidate) <= 0:
+                continue
+            expected = cut_size(netlist, group | {candidate}) - base
+            assert grower.cut_delta(candidate) == expected
+        if grower.step() is None:
+            break

@@ -1,0 +1,185 @@
+"""Tests for FM bisection and recursive-bisection tools."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.metrics.rent import estimate_rent_exponent_from_prefixes
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.ops import cut_size
+from repro.partition import (
+    FMPartitioner,
+    bisection_ordering,
+    estimate_rent_exponent_bisection,
+    fm_bisect,
+    recursive_bisection,
+)
+
+
+def test_fm_two_cliques_finds_natural_cut(two_cliques):
+    result = fm_bisect(two_cliques, rng=1)
+    assert result.cut == 1
+    side_of_0 = result.sides[0]
+    assert all(result.sides[c] == side_of_0 for c in range(4))
+    assert all(result.sides[c] == 1 - side_of_0 for c in range(4, 8))
+
+
+def test_fm_respects_balance(two_cliques):
+    result = fm_bisect(two_cliques, balance_tolerance=0.05, rng=2)
+    area0 = len(result.side_cells(0))
+    assert 3 <= area0 <= 5
+
+
+def test_fm_requires_two_cells(triangle):
+    with pytest.raises(ReproError):
+        FMPartitioner(triangle, cells=[0])
+
+
+def test_fm_rejects_bad_tolerance(triangle):
+    with pytest.raises(ReproError):
+        FMPartitioner(triangle, balance_tolerance=1.5)
+
+
+def test_fm_initial_partition_must_cover(two_cliques):
+    partitioner = FMPartitioner(two_cliques, rng=0)
+    with pytest.raises(ReproError):
+        partitioner.run(initial={0: 0})
+
+
+def test_fm_subset_partitioning(two_cliques):
+    result = fm_bisect(two_cliques, cells=range(4), rng=3)
+    assert set(result.sides) == set(range(4))
+
+
+def test_fm_cut_matches_recount(small_planted):
+    netlist, _ = small_planted
+    cells = list(range(300))
+    result = fm_bisect(netlist, cells=cells, rng=4)
+    # Recount the cut over restricted nets.
+    side0 = set(result.side_cells(0))
+    recount = 0
+    seen = set()
+    for cell in cells:
+        for net in netlist.nets_of_cell(cell):
+            if net in seen:
+                continue
+            seen.add(net)
+            members = [c for c in netlist.cells_of_net(net) if c in result.sides]
+            if len(members) >= 2:
+                inside = sum(1 for c in members if c in side0)
+                if 0 < inside < len(members):
+                    recount += 1
+    assert recount == result.cut
+
+
+def test_fm_improves_over_random_start():
+    rng = random.Random(5)
+    builder = NetlistBuilder()
+    cells = builder.add_cells(60)
+    # Two communities with sparse cross edges.
+    for _ in range(180):
+        a, b = rng.sample(cells[:30], 2)
+        builder.add_net(None, [a, b])
+    for _ in range(180):
+        a, b = rng.sample(cells[30:], 2)
+        builder.add_net(None, [a, b])
+    for _ in range(6):
+        builder.add_net(None, [rng.choice(cells[:30]), rng.choice(cells[30:])])
+    netlist = builder.build()
+    result = fm_bisect(netlist, rng=6)
+    assert result.cut <= 10  # near the natural 6-net cut
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_fm_never_worsens_random_start(seed):
+    rng = random.Random(seed)
+    builder = NetlistBuilder()
+    num_cells = rng.randint(6, 30)
+    cells = builder.add_cells(num_cells)
+    for i in range(rng.randint(4, 50)):
+        builder.add_net(f"n{i}", rng.sample(cells, rng.randint(2, min(4, num_cells))))
+    netlist = builder.build()
+
+    partitioner = FMPartitioner(netlist, rng=seed)
+    start = partitioner._random_balanced_start()
+    start_cut = partitioner._cut(start)
+    result = partitioner.run(initial=dict(start))
+    assert result.cut <= start_cut
+
+
+# ---------------------------------------------------------------- bisection
+def test_recursive_bisection_covers_all(small_planted):
+    netlist, _ = small_planted
+    cells = list(range(400))
+    leaves = recursive_bisection(netlist, cells=cells, min_block=16, rng=1)
+    flat = [c for leaf in leaves for c in leaf]
+    assert sorted(flat) == cells
+    assert all(len(leaf) <= 16 for leaf in leaves if len(leaves) > 1)
+
+
+def test_bisection_ordering_is_permutation(small_planted):
+    netlist, _ = small_planted
+    cells = list(range(300))
+    ordering = bisection_ordering(netlist, cells=cells, rng=2)
+    assert sorted(ordering) == cells
+
+
+def test_bisection_ordering_localizes_planted_block(small_planted):
+    """The planted block occupies a contiguous-ish span of the ordering."""
+    netlist, truth = small_planted
+    block = truth[0]
+    ordering = bisection_ordering(netlist, min_block=32, rng=3)
+    positions = sorted(i for i, c in enumerate(ordering) if c in block)
+    span = positions[-1] - positions[0] + 1
+    assert span <= 3 * len(block)
+
+
+def test_bisection_rent_estimate_agrees_with_ordering_estimator():
+    """Both Rent estimators land in the same band on glue logic."""
+    from repro.finder.candidate import scan_ordering
+    from repro.finder.ordering import grow_linear_ordering
+    from repro.generators.circuit_builder import CircuitBuilder
+    from repro.generators.structures import build_random_glue
+
+    circuit = CircuitBuilder()
+    build_random_glue(circuit, 1200, rng=7)
+    netlist = circuit.finish()
+
+    p_bisect, coefficient = estimate_rent_exponent_bisection(
+        netlist, min_block=24, rng=8
+    )
+    ordering = grow_linear_ordering(netlist, 10, 600)
+    p_ordering = estimate_rent_exponent_from_prefixes(scan_ordering(netlist, ordering))
+    assert 0.3 < p_bisect < 1.0
+    assert abs(p_bisect - p_ordering) < 0.3
+    assert coefficient > 0
+
+
+def test_bisection_rent_needs_enough_nodes(triangle):
+    with pytest.raises(ReproError):
+        estimate_rent_exponent_bisection(triangle, min_block=16)
+
+
+def test_phase2_works_on_bisection_ordering(small_planted):
+    """The paper's Phase II extracts the planted GTL from an FM ordering."""
+    from repro.finder import FinderConfig
+    from repro.finder.candidate import extract_candidate
+
+    netlist, truth = small_planted
+    block = truth[0]
+    ordering = bisection_ordering(netlist, min_block=32, rng=5)
+    # Rotate the ordering so the block's span starts near the front, the
+    # way a seed-based ordering would present it.
+    first = min(i for i, c in enumerate(ordering) if c in block)
+    rotated = ordering[first:] + ordering[:first]
+    candidate = extract_candidate(
+        netlist,
+        rotated[: min(len(rotated), 3 * len(block))],
+        FinderConfig(),
+    )
+    assert candidate is not None
+    overlap = len(candidate.cells & block) / len(block)
+    assert overlap > 0.8

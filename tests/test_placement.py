@@ -1,0 +1,363 @@
+"""Tests for the placement substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlacementError
+from repro.generators import IndustrialSpec, generate_industrial
+from repro.netlist.builder import NetlistBuilder
+from repro.placement import (
+    Die,
+    assign_pad_positions,
+    diffuse_density,
+    inflate_cells,
+    legalize_rows,
+    make_fillers,
+    place,
+    solve_quadratic_placement,
+    spread_cells,
+)
+from repro.placement.pads import _perimeter_point
+
+
+# ---------------------------------------------------------------- die
+def test_die_validation():
+    with pytest.raises(PlacementError):
+        Die(0, 10)
+    with pytest.raises(PlacementError):
+        Die(10, -1)
+    with pytest.raises(PlacementError):
+        Die(10, 10, num_rows=-1)
+
+
+def test_die_for_area():
+    die = Die.for_area(500.0, utilization=0.5)
+    assert die.area == pytest.approx(1000.0)
+    assert die.width == pytest.approx(die.height)
+
+
+def test_die_for_area_aspect():
+    die = Die.for_area(100.0, utilization=1.0, aspect=4.0)
+    assert die.width == pytest.approx(4 * die.height)
+    assert die.area == pytest.approx(100.0)
+
+
+def test_die_for_area_validation():
+    with pytest.raises(PlacementError):
+        Die.for_area(100, utilization=0.0)
+    with pytest.raises(PlacementError):
+        Die.for_area(0.0)
+
+
+def test_die_clamp():
+    die = Die(10, 20)
+    assert die.clamp(-5, 25) == (0.0, 20.0)
+    assert die.center == (5.0, 10.0)
+
+
+# ---------------------------------------------------------------- pads
+def test_perimeter_point_walks_edges():
+    die = Die(10, 10)
+    assert _perimeter_point(die, 0) == (0.0, 0.0)
+    assert _perimeter_point(die, 5) == (5.0, 0.0)
+    assert _perimeter_point(die, 15) == (10.0, 5.0)
+    assert _perimeter_point(die, 25) == (5.0, 10.0)
+    assert _perimeter_point(die, 35) == (0.0, 5.0)
+    assert _perimeter_point(die, 40) == (0.0, 0.0)  # wraps
+
+
+def test_assign_pad_positions(mixed_netlist):
+    die = Die(10, 10)
+    positions = assign_pad_positions(mixed_netlist, die)
+    assert set(positions) == {3}
+    x, y = positions[3]
+    on_edge = x in (0.0, 10.0) or y in (0.0, 10.0)
+    assert on_edge
+
+
+def test_assign_pad_positions_requires_pads(triangle):
+    with pytest.raises(PlacementError):
+        assign_pad_positions(triangle, Die(5, 5))
+
+
+# ---------------------------------------------------------------- quadratic
+def test_quadratic_pulls_between_pads():
+    """A chain between two pads settles at interior equilibrium points."""
+    builder = NetlistBuilder()
+    left = builder.add_cell("pl", fixed=True)
+    a = builder.add_cell("a")
+    b = builder.add_cell("b")
+    right = builder.add_cell("pr", fixed=True)
+    builder.add_net("n1", [left, a])
+    builder.add_net("n2", [a, b])
+    builder.add_net("n3", [b, right])
+    netlist = builder.build()
+    die = Die(30, 30)
+    pads = {left: (0.0, 15.0), right: (30.0, 15.0)}
+    x, y = solve_quadratic_placement(netlist, die, pads)
+    assert x[a] == pytest.approx(10.0, abs=0.1)
+    assert x[b] == pytest.approx(20.0, abs=0.1)
+    assert y[a] == pytest.approx(15.0, abs=0.1)
+
+
+def test_quadratic_missing_pad_position(mixed_netlist):
+    with pytest.raises(PlacementError):
+        solve_quadratic_placement(mixed_netlist, Die(10, 10), {})
+
+
+def test_quadratic_without_movable_cells():
+    builder = NetlistBuilder()
+    p = builder.add_cell("p", fixed=True)
+    q = builder.add_cell("q", fixed=True)
+    builder.add_net("n", [p, q])
+    netlist = builder.build()
+    x, y = solve_quadratic_placement(
+        netlist, Die(10, 10), {p: (1.0, 2.0), q: (3.0, 4.0)}
+    )
+    assert (x[p], y[p]) == (1.0, 2.0)
+
+
+def test_quadratic_anchors_hold_positions(small_planted):
+    netlist, _ = small_planted
+    die = Die(100, 100)
+    rng = np.random.default_rng(0)
+    ax = rng.uniform(0, 100, netlist.num_cells)
+    ay = rng.uniform(0, 100, netlist.num_cells)
+    x, y = solve_quadratic_placement(
+        netlist, die, {}, anchors=(ax, ay), anchor_weight=100.0
+    )
+    # With overwhelming anchors, cells stay near their anchor points.
+    assert float(np.abs(x - ax).mean()) < 1.0
+
+
+def test_quadratic_ring_model_for_large_nets(star_netlist):
+    # One 5-pin net with clique_limit=3 -> ring decomposition; solvable.
+    die = Die(10, 10)
+    x, y = solve_quadratic_placement(star_netlist, die, {}, clique_limit=3)
+    assert np.all((0 <= x) & (x <= 10))
+
+
+def test_quadratic_bad_anchor_mode(small_planted):
+    netlist, _ = small_planted
+    with pytest.raises(PlacementError):
+        solve_quadratic_placement(
+            netlist,
+            Die(10, 10),
+            {},
+            anchors=(np.zeros(netlist.num_cells), np.zeros(netlist.num_cells)),
+            anchor_mode="bogus",
+        )
+
+
+# ---------------------------------------------------------------- spreading
+def test_spread_cells_uniformizes():
+    rng = np.random.default_rng(1)
+    n = 400
+    x = 50 + rng.normal(0, 0.5, n)
+    y = 50 + rng.normal(0, 0.5, n)
+    die = Die(100, 100)
+    sx, sy = spread_cells(x, y, np.ones(n), die)
+    # Quarters of the die get roughly a quarter of the cells each.
+    left = np.sum(sx < 50)
+    assert 0.4 * n < left < 0.6 * n
+    bottom = np.sum(sy < 50)
+    assert 0.4 * n < bottom < 0.6 * n
+
+
+def test_spread_cells_respects_area_weights():
+    # One big cell among small ones claims proportional space.
+    n = 101
+    x = np.full(n, 5.0)
+    y = np.full(n, 5.0)
+    areas = np.ones(n)
+    areas[0] = 100.0
+    die = Die(10, 10)
+    sx, sy = spread_cells(x, y, areas, die)
+    assert np.all((0 <= sx) & (sx <= 10))
+
+
+def test_spread_cells_empty_movable():
+    die = Die(10, 10)
+    x, y = spread_cells(np.array([1.0]), np.array([1.0]), [1.0], die, movable=np.array([], dtype=np.int64))
+    assert x[0] == 1.0
+
+
+def test_spread_cells_rejects_bad_areas():
+    die = Die(10, 10)
+    with pytest.raises(PlacementError):
+        spread_cells(np.array([1.0]), np.array([1.0]), [0.0], die)
+
+
+def test_spread_preserves_relative_order():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    y = np.full(4, 5.0)
+    die = Die(10, 10)
+    sx, _ = spread_cells(x, y, np.ones(4), die, leaf_cells=1)
+    assert list(np.argsort(sx)) == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------- fillers
+def test_make_fillers_tile_whitespace():
+    die = Die(10, 10)
+    fx, fy, fa = make_fillers(total_cell_area=60.0, die=die, mean_cell_area=1.0)
+    assert fa.sum() == pytest.approx(40.0)
+    assert np.all((0 <= fx) & (fx <= 10))
+
+
+def test_make_fillers_no_whitespace():
+    die = Die(10, 10)
+    fx, fy, fa = make_fillers(total_cell_area=100.0, die=die, mean_cell_area=1.0)
+    assert len(fx) == 0
+
+
+# ---------------------------------------------------------------- diffusion
+def test_diffuse_density_relieves_clump():
+    rng = np.random.default_rng(0)
+    n = 1500
+    x = 50 + rng.normal(0, 2, n)
+    y = 50 + rng.normal(0, 2, n)
+    die = Die(100, 100)
+    sx, sy = diffuse_density(x, y, np.ones(n), die, max_utilization=0.8)
+    bw = 100 / 32
+    ix = np.clip((sx / bw).astype(int), 0, 31)
+    iy = np.clip((sy / bw).astype(int), 0, 31)
+    density = np.zeros((32, 32))
+    np.add.at(density, (ix, iy), 1.0)
+    density /= bw * bw
+    assert float(density.max()) < 51.0 / (bw * bw) * 5  # hugely reduced
+    assert float(x.std()) < float(sx.std())  # actually spread out
+
+
+def test_diffuse_density_validation():
+    die = Die(10, 10)
+    with pytest.raises(PlacementError):
+        diffuse_density(np.array([1.0]), np.array([1.0]), [1.0], die, max_utilization=0.0)
+
+
+def test_diffuse_density_noop_when_sparse():
+    rng = np.random.default_rng(2)
+    x = rng.uniform(0, 100, 50)
+    y = rng.uniform(0, 100, 50)
+    die = Die(100, 100)
+    sx, sy = diffuse_density(x, y, np.ones(50), die, max_utilization=0.9)
+    assert np.allclose(sx, x) and np.allclose(sy, y)
+
+
+# ---------------------------------------------------------------- legalize
+def test_legalize_rows_snap_and_no_overlap():
+    x = np.array([1.0, 1.1, 1.2, 8.0])
+    y = np.array([2.0, 2.1, 1.9, 7.0])
+    die = Die(10, 10)
+    lx, ly = legalize_rows(x, y, np.ones(4), die, num_rows=10)
+    rows = np.round(ly - 0.5).astype(int)
+    for row in set(rows):
+        members = np.flatnonzero(rows == row)
+        order = members[np.argsort(lx[members])]
+        for a, b in zip(order, order[1:]):
+            assert lx[b] - lx[a] >= 1.0 - 1e-9  # no overlap (unit widths)
+
+
+def test_legalize_rows_keeps_cells_in_die():
+    rng = np.random.default_rng(3)
+    n = 200
+    x = rng.uniform(0, 50, n)
+    y = rng.uniform(0, 50, n)
+    die = Die(50, 50)
+    lx, ly = legalize_rows(x, y, np.ones(n), die)
+    assert np.all((0 <= lx) & (lx <= 50))
+    assert np.all((0 <= ly) & (ly <= 50))
+
+
+def test_legalize_empty_movable():
+    die = Die(10, 10)
+    lx, ly = legalize_rows(
+        np.array([1.0]), np.array([1.0]), [1.0], die, movable=np.array([], dtype=np.int64)
+    )
+    assert lx[0] == 1.0
+
+
+# ---------------------------------------------------------------- inflation
+def test_inflate_cells(mixed_netlist):
+    inflated = inflate_cells(mixed_netlist, [0, 1], factor=4.0)
+    assert inflated.cell_area(0) == pytest.approx(8.0)
+    assert inflated.cell_area(1) == pytest.approx(4.0)
+    assert inflated.cell_area(2) == pytest.approx(1.0)
+    # Connectivity, names and pin counts preserved.
+    assert inflated.num_nets == mixed_netlist.num_nets
+    assert inflated.cell_pin_count(0) == mixed_netlist.cell_pin_count(0)
+    assert inflated.cell_name(2) == mixed_netlist.cell_name(2)
+
+
+def test_inflate_cells_validation(mixed_netlist):
+    with pytest.raises(PlacementError):
+        inflate_cells(mixed_netlist, [0], factor=0.0)
+    with pytest.raises(PlacementError):
+        inflate_cells(mixed_netlist, [99])
+
+
+# ---------------------------------------------------------------- place
+@pytest.fixture(scope="module")
+def small_industrial():
+    spec = IndustrialSpec(glue_gates=1500, rom_blocks=((4, 12),), num_pads=32)
+    return generate_industrial(spec, seed=1)
+
+
+def test_place_full_flow(small_industrial):
+    netlist, truth = small_industrial
+    placement = place(netlist, utilization=0.5)
+    assert np.all((0 <= placement.x) & (placement.x <= placement.die.width))
+    assert np.all((0 <= placement.y) & (placement.y <= placement.die.height))
+    assert placement.hpwl() > 0
+
+
+def test_place_clusters_tangled_block(small_industrial):
+    netlist, truth = small_industrial
+    placement = place(netlist, utilization=0.5)
+    block = sorted(truth[0])
+    rng = np.random.default_rng(0)
+    random_cells = rng.choice(netlist.movable_cells(), size=len(block), replace=False)
+
+    def dispersion(cells):
+        xs, ys = placement.x[cells], placement.y[cells]
+        return float(np.hypot(xs - xs.mean(), ys - ys.mean()).mean())
+
+    assert dispersion(block) < 0.6 * dispersion(random_cells)
+
+
+def test_place_with_legalization(small_industrial):
+    netlist, _ = small_industrial
+    placement = place(netlist, utilization=0.5, legalize=True)
+    assert placement.hpwl() > 0
+
+
+def test_place_deterministic(small_industrial):
+    netlist, _ = small_industrial
+    p1 = place(netlist, utilization=0.5)
+    p2 = place(netlist, utilization=0.5)
+    assert np.allclose(p1.x, p2.x)
+    assert np.allclose(p1.y, p2.y)
+
+
+def test_place_respects_given_die(small_industrial):
+    netlist, _ = small_industrial
+    die = Die(500, 500)
+    placement = place(netlist, die=die)
+    assert placement.die is die
+
+
+def test_place_validation(small_industrial):
+    netlist, _ = small_industrial
+    with pytest.raises(PlacementError):
+        place(netlist, spreading_iterations=-1)
+    with pytest.raises(PlacementError):
+        place(netlist, regroup_weight=0.0)
+    with pytest.raises(PlacementError):
+        place(netlist, contraction_weight=-1.0)
+
+
+def test_placement_position_accessor(small_industrial):
+    netlist, _ = small_industrial
+    placement = place(netlist, utilization=0.5)
+    x, y = placement.position(0)
+    assert x == placement.x[0] and y == placement.y[0]

@@ -1,0 +1,138 @@
+"""Unit and property tests for the lazy max-heap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.lazyheap import LazyMaxHeap
+
+
+def test_empty_pop_raises():
+    heap = LazyMaxHeap()
+    with pytest.raises(KeyError):
+        heap.pop()
+
+
+def test_empty_peek_raises():
+    with pytest.raises(KeyError):
+        LazyMaxHeap().peek()
+
+
+def test_push_pop_single():
+    heap = LazyMaxHeap()
+    heap.push("a", 1.0)
+    assert heap.pop() == ("a", 1.0, 0.0)
+    assert len(heap) == 0
+
+
+def test_max_order():
+    heap = LazyMaxHeap()
+    heap.push("low", 1.0)
+    heap.push("high", 5.0)
+    heap.push("mid", 3.0)
+    assert heap.pop()[0] == "high"
+    assert heap.pop()[0] == "mid"
+    assert heap.pop()[0] == "low"
+
+
+def test_update_priority_up():
+    heap = LazyMaxHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 2.0)
+    heap.push("a", 3.0)  # re-prioritize
+    assert heap.pop()[0] == "a"
+    assert heap.pop()[0] == "b"
+    assert len(heap) == 0
+
+
+def test_update_priority_down():
+    heap = LazyMaxHeap()
+    heap.push("a", 5.0)
+    heap.push("b", 2.0)
+    heap.push("a", 1.0)
+    assert heap.pop()[0] == "b"
+    assert heap.pop()[0] == "a"
+
+
+def test_secondary_breaks_ties():
+    heap = LazyMaxHeap()
+    heap.push("x", 1.0, secondary=0.0)
+    heap.push("y", 1.0, secondary=2.0)
+    assert heap.pop()[0] == "y"
+
+
+def test_insertion_order_breaks_remaining_ties():
+    heap = LazyMaxHeap()
+    heap.push("first", 1.0, 1.0)
+    heap.push("second", 1.0, 1.0)
+    assert heap.pop()[0] == "first"
+
+
+def test_discard():
+    heap = LazyMaxHeap()
+    heap.push("a", 5.0)
+    heap.push("b", 1.0)
+    heap.discard("a")
+    assert "a" not in heap
+    assert heap.pop()[0] == "b"
+
+
+def test_discard_missing_is_noop():
+    heap = LazyMaxHeap()
+    heap.discard("ghost")
+    assert len(heap) == 0
+
+
+def test_contains_and_priority():
+    heap = LazyMaxHeap()
+    heap.push("a", 2.5, 1.5)
+    assert "a" in heap
+    assert heap.priority("a") == (2.5, 1.5)
+    assert heap.priority("b") is None
+
+
+def test_peek_does_not_remove():
+    heap = LazyMaxHeap()
+    heap.push("a", 1.0)
+    assert heap.peek()[0] == "a"
+    assert len(heap) == 1
+
+
+def test_len_counts_live_entries():
+    heap = LazyMaxHeap()
+    heap.push("a", 1.0)
+    heap.push("a", 2.0)
+    heap.push("b", 1.0)
+    assert len(heap) == 2
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.floats(-100, 100, allow_nan=False)),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_property_pop_order_matches_final_priorities(operations):
+    """After arbitrary pushes/updates, pops come out in descending priority."""
+    heap = LazyMaxHeap()
+    final = {}
+    for key, priority in operations:
+        heap.push(key, priority)
+        final[key] = priority
+    popped = []
+    while len(heap):
+        item, primary, _ = heap.pop()
+        assert final[item] == primary
+        popped.append(primary)
+    assert popped == sorted(popped, reverse=True)
+    assert len(popped) == len(final)
+
+
+@given(st.lists(st.integers(0, 10), min_size=1, max_size=50))
+def test_property_discard_removes(keys):
+    heap = LazyMaxHeap()
+    for key in keys:
+        heap.push(key, float(key))
+    for key in set(keys):
+        heap.discard(key)
+    assert len(heap) == 0

@@ -1,0 +1,133 @@
+"""Tests for rng helpers, union-find, timer and table formatting."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import ensure_rng, sample_distinct, spawn_seeds
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+from repro.utils.unionfind import UnionFind
+
+
+# ---------------------------------------------------------------- rng
+def test_ensure_rng_none_returns_random():
+    assert isinstance(ensure_rng(None), random.Random)
+
+
+def test_ensure_rng_int_is_deterministic():
+    assert ensure_rng(42).random() == ensure_rng(42).random()
+
+
+def test_ensure_rng_passthrough():
+    generator = random.Random(1)
+    assert ensure_rng(generator) is generator
+
+
+def test_ensure_rng_rejects_bad_types():
+    with pytest.raises(TypeError):
+        ensure_rng("seed")
+    with pytest.raises(TypeError):
+        ensure_rng(True)
+
+
+def test_sample_distinct_caps_at_population():
+    assert sorted(sample_distinct([1, 2, 3], 10, rng=0)) == [1, 2, 3]
+
+
+def test_sample_distinct_empty():
+    assert sample_distinct([], 3) == []
+    assert sample_distinct([1, 2], 0) == []
+
+
+def test_sample_distinct_no_duplicates():
+    result = sample_distinct(list(range(100)), 50, rng=3)
+    assert len(result) == len(set(result)) == 50
+
+
+def test_spawn_seeds_deterministic():
+    assert spawn_seeds(5, 4) == spawn_seeds(5, 4)
+    assert len(spawn_seeds(None, 3)) == 3
+
+
+# ---------------------------------------------------------------- union-find
+def test_unionfind_basic():
+    uf = UnionFind([1, 2, 3])
+    assert not uf.connected(1, 2)
+    assert uf.union(1, 2)
+    assert uf.connected(1, 2)
+    assert not uf.union(1, 2)
+    assert uf.component_count() == 2
+
+
+def test_unionfind_add_idempotent():
+    uf = UnionFind()
+    uf.add("a")
+    uf.add("a")
+    assert uf.component_count() == 1
+
+
+def test_unionfind_transitive():
+    uf = UnionFind(range(4))
+    uf.union(0, 1)
+    uf.union(2, 3)
+    uf.union(1, 2)
+    assert uf.connected(0, 3)
+    assert uf.component_count() == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=100))
+def test_unionfind_matches_naive(pairs):
+    """Union-find connectivity agrees with a naive set-merging model."""
+    uf = UnionFind(range(31))
+    naive = [{i} for i in range(31)]
+
+    def find_naive(x):
+        for group in naive:
+            if x in group:
+                return group
+        raise AssertionError
+
+    for a, b in pairs:
+        uf.union(a, b)
+        ga, gb = find_naive(a), find_naive(b)
+        if ga is not gb:
+            ga.update(gb)
+            naive.remove(gb)
+    for a, b in pairs:
+        assert uf.connected(a, b)
+    assert uf.component_count() == len(naive)
+
+
+# ---------------------------------------------------------------- timer
+def test_timer_measures_elapsed():
+    with Timer() as timer:
+        sum(range(1000))
+    assert timer.elapsed >= 0.0
+    assert timer.minutes == pytest.approx(timer.elapsed / 60.0)
+
+
+# ---------------------------------------------------------------- tables
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "22" in lines[2]
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_format_table_float_rendering():
+    text = format_table(["x"], [[0.123456], [1234.5], [0.0]])
+    assert "0.123" in text
+    assert "0" in text
+
+
+def test_format_table_empty_rows():
+    text = format_table(["h1", "h2"], [])
+    assert "h1" in text
