@@ -24,6 +24,7 @@ from repro.errors import (
     ParseError,
     PlacementError,
     ReproError,
+    ServiceError,
     ValidationError,
 )
 from repro.netlist import Netlist, NetlistBuilder
@@ -52,6 +53,7 @@ __all__ = [
     "FinderError",
     "PlacementError",
     "GenerationError",
+    "ServiceError",
     "Netlist",
     "NetlistBuilder",
     "GTL",

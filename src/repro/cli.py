@@ -7,12 +7,30 @@ Subcommands:
 * ``generate``     — synthesize a workload (planted graph, ISPD-like,
   industrial-like) and write it to disk.
 * ``experiment``   — run one of the paper's table/figure harnesses.
+* ``batch``        — run a manifest of detection jobs through the batch
+  service (shared worker pool, persistent result cache).
+* ``sweep``        — expand a parameter grid over a set of designs,
+  deduplicate identical jobs, and run them through the batch service.
 
 Examples::
 
     tangled-logic find-gtl design.aux --seeds 100 --metric gtl_sd
     tangled-logic generate ispd --scale 0.25 --out bench/
     tangled-logic experiment table1 --scale 0.1
+    tangled-logic batch jobs.json --workers 4 --cache-dir .repro-cache
+    tangled-logic sweep sweep.json --jsonl points.jsonl
+
+Batch manifest (JSON; design paths are relative to the manifest)::
+
+    {"defaults": {"num_seeds": 16, "seed": 1},
+     "jobs": [{"design": "bench/a.hgr", "label": "a", "num_seeds": 32},
+              {"design": "bench/b.aux"}]}
+
+Sweep manifest::
+
+    {"designs": ["bench/a.hgr", "bench/b.hgr"],
+     "base": {"num_seeds": 16, "seed": 1},
+     "grid": {"lambda_skip": [0, 20], "metric": ["gtl_sd", "ngtl_s"]}}
 """
 
 from __future__ import annotations
@@ -28,6 +46,10 @@ from repro.netlist.hypergraph import Netlist
 
 
 def _load_design(path: str) -> Netlist:
+    if not os.path.exists(path):
+        from repro.errors import ParseError
+
+        raise ParseError("design file does not exist", path=path)
     lower = path.lower()
     if lower.endswith(".aux"):
         from repro.io.bookshelf import read_bookshelf
@@ -116,6 +138,216 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _manifest_config(data, context: str):
+    """Build a :class:`FinderConfig` from a manifest dict."""
+    from repro.errors import ServiceError
+    from repro.service.codec import config_from_dict
+
+    if not isinstance(data, dict):
+        raise ServiceError(f"{context} must be a JSON object of FinderConfig fields")
+    try:
+        return config_from_dict(data)
+    except ReproError:
+        raise
+    except TypeError as error:
+        raise ServiceError(f"bad {context}: {error}") from error
+
+
+def _make_runner(args: argparse.Namespace, store):
+    from repro.service.jobs import BatchProgress, BatchRunner
+
+    def _progress(event: BatchProgress) -> None:
+        result = event.result
+        status = "cached" if result.cached else ("ok" if result.ok else "FAILED")
+        label = result.job.label or result.job.fingerprint[:12]
+        print(
+            f"[{event.done}/{event.total}] {label}: {status} "
+            f"({result.runtime_seconds:.2f}s)",
+            file=sys.stderr,
+        )
+
+    return BatchRunner(
+        workers=args.workers,
+        store=store,
+        use_cache=not args.no_cache,
+        progress=_progress if not args.quiet else None,
+    )
+
+
+def _open_store(args: argparse.Namespace):
+    from repro.service.store import ResultStore
+
+    if args.no_cache:
+        return None
+    return ResultStore(args.cache_dir or ".repro-cache")
+
+
+def _report_row(label, result):
+    report = result.report
+    if report is None:
+        return [label, "-", "-", "-", "-", "error", result.error or ""]
+    best = report.gtls[0] if report.gtls else None
+    return [
+        label,
+        report.num_gtls,
+        best.size if best else "-",
+        f"{best.score:.4f}" if best else "-",
+        f"{report.rent_exponent:.3f}",
+        "hit" if result.cached else "run",
+        f"{result.runtime_seconds:.2f}s",
+    ]
+
+
+def _resolve_design(design: str, base_dir: str) -> str:
+    return design if os.path.isabs(design) else os.path.join(base_dir, design)
+
+
+def _run_service_command(args: argparse.Namespace, execute) -> int:
+    """Shared store/runner lifecycle and output epilogue of batch and sweep.
+
+    ``execute(runner)`` returns ``(headers, rows, summary_line, jsonl_rows,
+    results)``; the exit code is 0 only when every result is ok.
+    """
+    from repro.utils.jsonio import write_jsonl
+    from repro.utils.tables import format_table
+
+    store = _open_store(args)
+    try:
+        with _make_runner(args, store) as runner:
+            headers, rows, summary_line, jsonl_rows, results = execute(runner)
+    finally:
+        cache_line = store.stats.summary() if store else "cache disabled"
+        if store:
+            store.close()
+
+    print(format_table(headers, rows))
+    print(summary_line)
+    print(f"cache: {cache_line}")
+    if args.jsonl:
+        written = write_jsonl(args.jsonl, jsonl_rows)
+        print(f"wrote {written} row(s) to {args.jsonl}")
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service.codec import report_to_dict
+    from repro.service.jobs import DetectionJob, summarize_results
+    from repro.utils.jsonio import read_json_file
+
+    manifest = read_json_file(args.manifest)
+    if not isinstance(manifest, dict) or not isinstance(manifest.get("jobs"), list):
+        raise ServiceError('batch manifest must be {"defaults": {...}, "jobs": [...]}')
+    if not manifest["jobs"]:
+        raise ServiceError("batch manifest has no jobs")
+    defaults = manifest.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise ServiceError('batch manifest "defaults" must be a JSON object')
+    base_dir = os.path.dirname(os.path.abspath(args.manifest))
+
+    from repro.service.fingerprint import fingerprint_netlist
+
+    jobs = []
+    # Many jobs routinely target the same design with different configs:
+    # parse and content-hash each file once, not once per job entry.
+    netlists_by_path = {}
+    for index, entry in enumerate(manifest["jobs"]):
+        if not isinstance(entry, dict) or not isinstance(entry.get("design"), str):
+            raise ServiceError(
+                f'job #{index} must be an object with a string "design" key'
+            )
+        overrides = {
+            k: v for k, v in entry.items() if k not in ("design", "label")
+        }
+        config = _manifest_config({**defaults, **overrides}, f"job #{index} config")
+        design = entry["design"]
+        path = _resolve_design(design, base_dir)
+        if path not in netlists_by_path:
+            netlist = _load_design(path)
+            netlists_by_path[path] = (netlist, fingerprint_netlist(netlist))
+        netlist, netlist_fp = netlists_by_path[path]
+        jobs.append(
+            DetectionJob.with_netlist_fingerprint(
+                netlist, config, entry.get("label", design), netlist_fp
+            )
+        )
+
+    def execute(runner):
+        results = runner.run(jobs)
+        headers = ["job", "gtls", "best size", "best score", "rent p", "cache", "time"]
+        rows = [_report_row(r.job.label, r) for r in results]
+        jsonl_rows = [
+            {
+                "label": r.job.label,
+                "fingerprint": r.job.fingerprint,
+                "cached": r.cached,
+                "runtime_seconds": r.runtime_seconds,
+                "error": r.error,
+                "report": report_to_dict(r.report) if r.report else None,
+            }
+            for r in results
+        ]
+        return headers, rows, summarize_results(results), jsonl_rows, results
+
+    return _run_service_command(args, execute)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service.codec import report_to_dict
+    from repro.service.jobs import summarize_results
+    from repro.service.sweep import run_sweep
+    from repro.utils.jsonio import read_json_file
+
+    manifest = read_json_file(args.manifest)
+    if not isinstance(manifest, dict) or not isinstance(manifest.get("designs"), list):
+        raise ServiceError(
+            'sweep manifest must be {"designs": [...], "base": {...}, "grid": {...}}'
+        )
+    if not isinstance(manifest.get("grid"), dict) or not manifest["grid"]:
+        raise ServiceError('sweep manifest needs a non-empty "grid" object')
+    base = _manifest_config(manifest.get("base", {}), "sweep base config")
+    base_dir = os.path.dirname(os.path.abspath(args.manifest))
+
+    designs = []
+    for index, design in enumerate(manifest["designs"]):
+        if not isinstance(design, str):
+            raise ServiceError(f'sweep manifest "designs" entry #{index} must be a string')
+        designs.append((design, _load_design(_resolve_design(design, base_dir))))
+
+    def execute(runner):
+        outcome = run_sweep(designs, base, manifest["grid"], runner)
+        headers = [
+            "design", "point", "gtls", "best size", "best score", "rent p", "cache", "time",
+        ]
+        rows = []
+        jsonl_rows = []
+        for point, result in outcome.point_results():
+            overrides = ", ".join(f"{k}={v}" for k, v in point.overrides)
+            row = _report_row(point.design, result)
+            rows.append([row[0], overrides] + row[1:])
+            jsonl_rows.append(
+                {
+                    "design": point.design,
+                    "overrides": point.overrides_dict(),
+                    "fingerprint": result.job.fingerprint,
+                    "cached": result.cached,
+                    "runtime_seconds": result.runtime_seconds,
+                    "error": result.error,
+                    "report": report_to_dict(result.report) if result.report else None,
+                }
+            )
+        summary = (
+            f"{len(outcome.plan.points)} grid point(s) -> "
+            f"{len(outcome.plan.jobs)} distinct job(s) "
+            f"({outcome.plan.num_deduplicated} deduplicated); "
+            + summarize_results(outcome.job_results)
+        )
+        return headers, rows, summary, jsonl_rows, outcome.job_results
+
+    return _run_service_command(args, execute)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.netlist.stats import netlist_stats
 
@@ -193,6 +425,23 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seeds", type=int, default=None)
     exp.add_argument("--csv", default="", help="write figure series to CSV")
     exp.set_defaults(func=_cmd_experiment)
+
+    for name, func, help_text in (
+        ("batch", _cmd_batch, "run a manifest of detection jobs via the service"),
+        ("sweep", _cmd_sweep, "run a parameter sweep with job deduplication"),
+    ):
+        svc = sub.add_parser(name, help=help_text)
+        svc.add_argument("manifest", help="JSON manifest file")
+        svc.add_argument("--workers", type=int, default=1,
+                         help="parallel seed trials per job")
+        svc.add_argument("--cache-dir", default="",
+                         help="result cache directory (default .repro-cache)")
+        svc.add_argument("--no-cache", action="store_true",
+                         help="bypass the result cache entirely")
+        svc.add_argument("--jsonl", default="", help="write per-job results here")
+        svc.add_argument("--quiet", action="store_true",
+                         help="suppress per-job progress on stderr")
+        svc.set_defaults(func=func)
 
     stats = sub.add_parser("stats", help="profile a design file")
     stats.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")

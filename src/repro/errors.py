@@ -45,3 +45,8 @@ class PlacementError(ReproError):
 
 class GenerationError(ReproError):
     """A synthetic workload generator received inconsistent parameters."""
+
+
+class ServiceError(ReproError):
+    """The detection service layer failed (bad manifest, store corruption,
+    exhausted worker retries, ...)."""

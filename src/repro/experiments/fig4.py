@@ -14,8 +14,8 @@ from typing import List
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
-from repro.finder import FinderConfig, find_tangled_logic
+from repro.experiments.common import ExperimentResult, detect
+from repro.finder import FinderConfig
 from repro.generators.ispd_like import default_bigblue1_like, generate_ispd_like
 from repro.placement import place
 from repro.utils.rng import ensure_rng
@@ -59,7 +59,7 @@ def run_fig4(
     """Reproduce Figure 4 on the bigblue1-like design."""
     spec = default_bigblue1_like(scale)
     netlist, _ = generate_ispd_like(spec, seed=seed)
-    report = find_tangled_logic(
+    report = detect(
         netlist, FinderConfig(num_seeds=num_seeds, seed=seed + 1, workers=workers)
     )
     placement = place(netlist)

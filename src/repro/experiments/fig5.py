@@ -14,8 +14,8 @@ and plots all three metrics against the group size:
 from __future__ import annotations
 
 from repro.analysis.curves import metric_comparison_curves
-from repro.experiments.common import ExperimentResult
-from repro.finder import FinderConfig, find_tangled_logic
+from repro.experiments.common import ExperimentResult, detect
+from repro.finder import FinderConfig
 from repro.generators.ispd_like import default_bigblue1_like, generate_ispd_like
 from repro.utils.rng import ensure_rng
 
@@ -36,7 +36,7 @@ def run_fig5(
     """
     spec = default_bigblue1_like(scale)
     netlist, _ = generate_ispd_like(spec, seed=seed)
-    report = find_tangled_logic(
+    report = detect(
         netlist, FinderConfig(num_seeds=probe_seeds, seed=seed + 1)
     )
     rng = ensure_rng(seed + 2)

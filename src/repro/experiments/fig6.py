@@ -15,8 +15,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
-from repro.finder import FinderConfig, find_tangled_logic
+from repro.experiments.common import ExperimentResult, detect
+from repro.finder import FinderConfig
 from repro.generators.industrial import IndustrialSpec, generate_industrial
 from repro.placement import place
 from repro.routing import build_congestion_map, congestion_stats
@@ -52,7 +52,7 @@ def run_fig6(
     if spec is None:
         spec = IndustrialSpec()
     netlist, _ = generate_industrial(spec, seed=seed)
-    report = find_tangled_logic(
+    report = detect(
         netlist, FinderConfig(num_seeds=num_seeds, seed=seed + 1, workers=workers)
     )
     placement = place(netlist, utilization=UTILIZATION)

@@ -15,14 +15,14 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, detect
 from repro.experiments.fig6 import (
     GRID,
     TARGET_AVERAGE_OCCUPANCY,
     UTILIZATION,
     ascii_congestion_map,
 )
-from repro.finder import FinderConfig, find_tangled_logic
+from repro.finder import FinderConfig
 from repro.generators.industrial import IndustrialSpec, generate_industrial
 from repro.placement import inflate_cells, place
 from repro.routing import build_congestion_map, congestion_stats
@@ -40,7 +40,7 @@ def run_fig7(
     if spec is None:
         spec = IndustrialSpec()
     netlist, _ = generate_industrial(spec, seed=seed)
-    report = find_tangled_logic(
+    report = detect(
         netlist, FinderConfig(num_seeds=num_seeds, seed=seed + 1, workers=workers)
     )
     gtl_cells = set()

@@ -16,8 +16,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.overlap import match_to_ground_truth
-from repro.experiments.common import ExperimentResult
-from repro.finder import FinderConfig, find_tangled_logic
+from repro.experiments.common import ExperimentResult, detect
+from repro.finder import FinderConfig
 from repro.generators.random_gtl import planted_gtl_graph
 
 #: The paper's four cases: (|V|, planted sizes).
@@ -84,7 +84,7 @@ def run_table1(
         config = FinderConfig(
             num_seeds=num_seeds, seed=seed + 100 + case_index, workers=workers
         )
-        report = find_tangled_logic(netlist, config)
+        report = detect(netlist, config)
         matches = match_to_ground_truth(truth, report.gtls)
         detected = sum(1 for m in matches if m.detected)
 

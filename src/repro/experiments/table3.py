@@ -16,8 +16,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.overlap import match_to_ground_truth
-from repro.experiments.common import ExperimentResult
-from repro.finder import FinderConfig, find_tangled_logic
+from repro.experiments.common import ExperimentResult, detect
+from repro.finder import FinderConfig
 from repro.generators.industrial import IndustrialSpec, generate_industrial
 
 
@@ -40,7 +40,7 @@ def run_table3(
         spec = IndustrialSpec()
     netlist, truth = generate_industrial(spec, seed=seed)
     config = FinderConfig(num_seeds=num_seeds, seed=seed + 1, workers=workers)
-    report = find_tangled_logic(netlist, config)
+    report = detect(netlist, config)
     matches = match_to_ground_truth(truth, report.gtls)
 
     result = ExperimentResult(

@@ -8,6 +8,11 @@ from typing import Optional
 from repro.errors import FinderError
 from repro.metrics.gtl_score import ScoreContext
 
+#: Netlist-level Rent exponent assumed when no ordering yields a usable
+#: estimate (0.6 is a typical logic Rent exponent).  Reports produced with
+#: this fallback carry ``rent_fallback=True``.
+DEFAULT_RENT_EXPONENT = 0.6
+
 
 @dataclass(frozen=True)
 class FinderConfig:

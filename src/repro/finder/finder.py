@@ -1,9 +1,12 @@
 """The full tangled-logic finder pipeline (Algorithm, Chapter IV).
 
 Each random seed runs Phases I-III independently — the paper exploits this
-with 8 pthreads; here seed runs are distributed over a process pool when
-``config.workers > 1`` (default serial, which is deterministic and has no
-pickling overhead for small designs).
+with 8 pthreads; here seed runs are distributed over a
+:class:`repro.service.pool.WorkerPool` when ``config.workers > 1`` (default
+serial, which is deterministic and has no pickling overhead for small
+designs).  Batch drivers (:class:`repro.service.jobs.BatchRunner`) pass a
+persistent pool into :meth:`TangledLogicFinder.run` so many detections share
+one set of worker processes.
 
 Rent-exponent handling: Phase II estimates a Rent exponent per ordering (the
 paper's estimator).  The finder averages those into a netlist-level exponent
@@ -13,21 +16,26 @@ candidates from different seeds are compared on one consistent scale.
 
 from __future__ import annotations
 
-import concurrent.futures
-from typing import List, Optional, Sequence, Tuple
+import logging
+import math
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.errors import FinderError
 from repro.finder.candidate import CandidateGTL, extract_candidate
-from repro.finder.config import FinderConfig
+from repro.finder.config import DEFAULT_RENT_EXPONENT, FinderConfig
 from repro.finder.ordering import grow_linear_ordering
 from repro.finder.prune import prune_overlapping
 from repro.finder.refine import refine_candidate
 from repro.finder.result import GTL, FinderReport
 from repro.metrics.gtl_score import ScoreContext
 from repro.netlist.hypergraph import Netlist
-from repro.netlist.ops import group_stats
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Timer
+
+if TYPE_CHECKING:  # import cycle: service.pool executes this module's seeds
+    from repro.service.pool import WorkerPool
+
+logger = logging.getLogger(__name__)
 
 # One seed's outcome: (refined candidate or None, ordering Rent estimate,
 # number of orderings grown).
@@ -50,12 +58,15 @@ def _process_seed(
     orderings_grown = 1
     if candidate is None:
         # Still recover the ordering's Rent estimate for the global average.
+        # NaN marks an ordering with no usable prefix so it is *excluded*
+        # from the average instead of dragging it toward the assumed 0.6;
+        # when every ordering is unusable the finder flags rent_fallback.
         from repro.finder.candidate import scan_ordering
         from repro.metrics.rent import estimate_rent_exponent_from_prefixes
 
         prefix_stats = scan_ordering(netlist, ordering)
         rent = estimate_rent_exponent_from_prefixes(
-            prefix_stats, min_size=config.rent_min_prefix
+            prefix_stats, min_size=config.rent_min_prefix, fallback=float("nan")
         )
         return None, rent, orderings_grown
 
@@ -94,27 +105,53 @@ class TangledLogicFinder:
         self.config = config or FinderConfig()
 
     # ------------------------------------------------------------------
-    def run(self) -> FinderReport:
-        """Execute Phases I-III for all seeds and return the report."""
+    def run(
+        self,
+        pool: Optional["WorkerPool"] = None,
+        pool_key: Optional[str] = None,
+    ) -> FinderReport:
+        """Execute Phases I-III for all seeds and return the report.
+
+        Args:
+            pool: a persistent :class:`repro.service.pool.WorkerPool` to run
+                the seed trials on; ``None`` executes serially or, when
+                ``config.workers > 1``, on an ephemeral pool.
+            pool_key: context key identifying ``(netlist, config)`` inside
+                ``pool`` (batch drivers pass the job fingerprint so the
+                netlist is shipped to the workers only once).
+        """
         config = self.config
         with Timer() as timer:
             seed_cells = self._draw_seed_cells()
             rng = ensure_rng(config.seed)
             jobs = [(cell, rng.randrange(2**63)) for cell in seed_cells]
 
-            if config.workers > 1 and len(jobs) > 1:
+            if pool is not None:
+                outcomes = pool.run_seed_jobs(
+                    self.netlist, config, jobs, key=pool_key
+                )
+            elif config.workers > 1 and len(jobs) > 1:
                 outcomes = self._run_parallel(jobs)
             else:
                 outcomes = _process_batch(self.netlist, config, jobs)
 
             candidates = [c for c, _, _ in outcomes if c is not None]
-            rents = [p for _, p, _ in outcomes]
+            rents = [p for _, p, _ in outcomes if math.isfinite(p)]
             orderings = sum(n for _, _, n in outcomes)
-            global_rent = sum(rents) / len(rents) if rents else 0.6
+            rent_fallback = not rents
+            if rent_fallback:
+                global_rent = DEFAULT_RENT_EXPONENT
+                logger.warning(
+                    "no ordering yielded a usable Rent estimate; assuming "
+                    "default exponent p=%.2f",
+                    DEFAULT_RENT_EXPONENT,
+                )
+            else:
+                global_rent = sum(rents) / len(rents)
 
             rescored = [self._rescore(c, global_rent) for c in candidates]
             kept = prune_overlapping(rescored)
-            gtls = tuple(self._to_gtl(c, global_rent) for c in kept)
+            gtls = tuple(self._to_gtl(c) for c in kept)
 
         return FinderReport(
             gtls=gtls,
@@ -123,6 +160,7 @@ class TangledLogicFinder:
             num_orderings=orderings,
             num_candidates=len(candidates),
             runtime_seconds=timer.elapsed,
+            rent_fallback=rent_fallback,
         )
 
     # ------------------------------------------------------------------
@@ -145,21 +183,18 @@ class TangledLogicFinder:
         )
 
     def _run_parallel(self, jobs: List[Tuple[int, int]]) -> List[_SeedOutcome]:
-        config = self.config
-        workers = min(config.workers, len(jobs))
-        chunks: List[List[Tuple[int, int]]] = [[] for _ in range(workers)]
-        for index, job in enumerate(jobs):
-            chunks[index % workers].append(job)
-        outcomes: List[_SeedOutcome] = []
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_process_batch, self.netlist, config, chunk)
-                for chunk in chunks
-                if chunk
-            ]
-            for future in futures:
-                outcomes.extend(future.result())
-        return outcomes
+        """One-shot parallel run on an ephemeral service pool.
+
+        The fixed key skips content hashing: the pool lives for exactly one
+        ``(netlist, config)`` context, so no collision is possible.
+        """
+        from repro.service.pool import WorkerPool
+
+        workers = min(self.config.workers, len(jobs))
+        with WorkerPool(workers) as pool:
+            return pool.run_seed_jobs(
+                self.netlist, self.config, jobs, key="single-run"
+            )
 
     def _rescore(self, candidate: CandidateGTL, rent: float) -> CandidateGTL:
         context = ScoreContext.for_netlist(
@@ -174,8 +209,11 @@ class TangledLogicFinder:
             seed=candidate.seed,
         )
 
-    def _to_gtl(self, candidate: CandidateGTL, rent: float) -> GTL:
-        stats = group_stats(self.netlist, candidate.cells)
+    def _to_gtl(self, candidate: CandidateGTL) -> GTL:
+        # The candidate comes out of _rescore, whose stats already describe
+        # exactly candidate.cells — no need to recompute them per kept group.
+        stats = candidate.stats
+        rent = candidate.rent_exponent
         ngtl = ScoreContext.for_netlist(self.netlist, rent, metric="ngtl_s")
         gtl_sd = ScoreContext.for_netlist(self.netlist, rent, metric="gtl_sd")
         return GTL(

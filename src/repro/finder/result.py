@@ -49,6 +49,9 @@ class FinderReport:
         num_orderings: Phase I orderings grown (seeds + refinement re-seeds).
         num_candidates: Phase II candidates before refinement/pruning.
         runtime_seconds: wall-clock time of the whole pipeline.
+        rent_fallback: True when no ordering produced a usable Rent estimate
+            and ``rent_exponent`` is the assumed
+            :data:`~repro.finder.config.DEFAULT_RENT_EXPONENT`.
     """
 
     gtls: Tuple[GTL, ...]
@@ -57,6 +60,7 @@ class FinderReport:
     num_orderings: int
     num_candidates: int
     runtime_seconds: float
+    rent_fallback: bool = False
 
     @property
     def num_gtls(self) -> int:
@@ -75,8 +79,11 @@ class FinderReport:
             for i, g in enumerate(self.gtls)
         ]
         body = format_table(headers, rows) if rows else "(no GTLs found)"
+        rent = f"p={self.rent_exponent:.3f}"
+        if self.rent_fallback:
+            rent += " (assumed default; no ordering yielded an estimate)"
         return (
-            f"{self.num_gtls} GTL(s), Rent exponent p={self.rent_exponent:.3f}, "
+            f"{self.num_gtls} GTL(s), Rent exponent {rent}, "
             f"{self.num_candidates} candidate(s) from {self.num_orderings} "
             f"ordering(s), {self.runtime_seconds:.2f}s\n{body}"
         )

@@ -47,6 +47,7 @@ def estimate_rent_exponent_from_prefixes(
     prefix_stats: Sequence[GroupStats],
     min_size: int = 8,
     clamp: Tuple[float, float] = (0.1, 1.0),
+    fallback: float = 0.6,
 ) -> float:
     """Average per-prefix Rent exponents, the paper's Phase II estimator.
 
@@ -58,9 +59,10 @@ def estimate_rent_exponent_from_prefixes(
         clamp: estimates are clamped to this physically meaningful range;
             Rent exponents of real circuits lie in roughly [0.4, 0.8] and
             values outside [0.1, 1.0] indicate a degenerate prefix.
-
-    Returns 0.6 (a typical logic Rent exponent) when no usable prefix exists,
-    so downstream scoring remains defined on pathological inputs.
+        fallback: returned when no usable prefix exists.  The default 0.6
+            (a typical logic Rent exponent) keeps downstream scoring defined
+            on pathological inputs; callers that need to *detect* the
+            degenerate case pass ``float("nan")`` and filter.
     """
     low, high = clamp
     estimates: List[float] = []
@@ -70,7 +72,7 @@ def estimate_rent_exponent_from_prefixes(
         value = (math.log(stats.cut) - math.log(stats.avg_pins)) / math.log(stats.size)
         estimates.append(min(high, max(low, value)))
     if not estimates:
-        return 0.6
+        return fallback
     return sum(estimates) / len(estimates)
 
 

@@ -1,0 +1,98 @@
+"""Lossless JSON codecs for finder results.
+
+The result store persists :class:`~repro.finder.result.FinderReport` objects
+as JSON.  Python's ``json`` round-trips floats exactly (shortest-repr), so a
+decoded report compares equal to the original — the cache-hit path returns
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from repro.errors import ServiceError
+from repro.finder.config import FinderConfig
+from repro.finder.result import GTL, FinderReport
+
+#: Payload schema version, persisted next to every report.
+CODEC_VERSION = 1
+
+
+def config_to_dict(config: FinderConfig) -> Dict[str, Any]:
+    """Plain-dict form of a :class:`FinderConfig`."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> FinderConfig:
+    """Rebuild a :class:`FinderConfig`; rejects unknown fields."""
+    known = {field.name for field in dataclasses.fields(FinderConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ServiceError(f"unknown FinderConfig fields in payload: {sorted(unknown)}")
+    return FinderConfig(**data)
+
+
+def gtl_to_dict(gtl: GTL) -> Dict[str, Any]:
+    """Plain-dict form of one GTL (cells as a sorted list)."""
+    return {
+        "cells": sorted(gtl.cells),
+        "size": gtl.size,
+        "cut": gtl.cut,
+        "ngtl_score": gtl.ngtl_score,
+        "gtl_sd_score": gtl.gtl_sd_score,
+        "score": gtl.score,
+        "seed": gtl.seed,
+        "rent_exponent": gtl.rent_exponent,
+    }
+
+
+def gtl_from_dict(data: Dict[str, Any]) -> GTL:
+    """Rebuild one GTL from its plain-dict form."""
+    return GTL(
+        cells=frozenset(data["cells"]),
+        size=data["size"],
+        cut=data["cut"],
+        ngtl_score=data["ngtl_score"],
+        gtl_sd_score=data["gtl_sd_score"],
+        score=data["score"],
+        seed=data["seed"],
+        rent_exponent=data["rent_exponent"],
+    )
+
+
+def report_to_dict(report: FinderReport) -> Dict[str, Any]:
+    """Plain-dict form of a full :class:`FinderReport`."""
+    return {
+        "version": CODEC_VERSION,
+        "gtls": [gtl_to_dict(g) for g in report.gtls],
+        "config": config_to_dict(report.config),
+        "rent_exponent": report.rent_exponent,
+        "num_orderings": report.num_orderings,
+        "num_candidates": report.num_candidates,
+        "runtime_seconds": report.runtime_seconds,
+        "rent_fallback": report.rent_fallback,
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> FinderReport:
+    """Rebuild a :class:`FinderReport`; raises :class:`ServiceError` on a
+    version or shape mismatch."""
+    try:
+        version = data["version"]
+        if version != CODEC_VERSION:
+            raise ServiceError(
+                f"unsupported report payload version {version} "
+                f"(expected {CODEC_VERSION})"
+            )
+        return FinderReport(
+            gtls=tuple(gtl_from_dict(g) for g in data["gtls"]),
+            config=config_from_dict(data["config"]),
+            rent_exponent=data["rent_exponent"],
+            num_orderings=data["num_orderings"],
+            num_candidates=data["num_candidates"],
+            runtime_seconds=data["runtime_seconds"],
+            rent_fallback=data.get("rent_fallback", False),
+        )
+    except (KeyError, TypeError) as error:
+        raise ServiceError(f"malformed report payload: {error}") from error

@@ -1,0 +1,104 @@
+"""Stable content fingerprints for netlists and finder configurations.
+
+The detection service recognizes repeated work by hashing the *content* of a
+``(Netlist, FinderConfig)`` pair — not object identity — so a design loaded
+twice (or in two different processes) maps to the same cache entry.  Hashes
+are SHA-256 over a canonical byte stream, which makes them stable across
+process restarts and machines (unlike the builtin ``hash``, which Python
+salts per process for strings).
+
+Execution-only knobs (currently ``workers``) are excluded from the config
+fingerprint: they change how fast a detection runs, never what it returns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional
+
+from repro.finder.config import FinderConfig
+from repro.netlist.hypergraph import Netlist
+
+#: Bump when the canonical serialization (or the meaning of a report) changes
+#: so stale persisted caches are never read back under a new scheme.
+FINGERPRINT_VERSION = 1
+
+#: Config fields that do not influence detection results.
+_EXECUTION_ONLY_FIELDS = frozenset({"workers"})
+
+
+def _hash_update_str(digest: "hashlib._Hash", text: str) -> None:
+    data = text.encode("utf-8")
+    digest.update(len(data).to_bytes(8, "little"))
+    digest.update(data)
+
+
+def fingerprint_netlist(netlist: Netlist) -> str:
+    """SHA-256 fingerprint of a netlist's full content.
+
+    Covers cell names, areas, pin counts, fixed flags, net names and net
+    membership (in index order — netlists are immutable, so index order is
+    part of the content).
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-netlist-v%d" % FINGERPRINT_VERSION)
+    digest.update(netlist.num_cells.to_bytes(8, "little"))
+    digest.update(netlist.num_nets.to_bytes(8, "little"))
+    for index in range(netlist.num_cells):
+        _hash_update_str(digest, netlist.cell_name(index))
+        _hash_update_str(digest, repr(netlist.cell_area(index)))
+        digest.update(netlist.cell_pin_count(index).to_bytes(8, "little"))
+        digest.update(b"\x01" if netlist.cell_is_fixed(index) else b"\x00")
+    for index in range(netlist.num_nets):
+        _hash_update_str(digest, netlist.net_name(index))
+        cells = netlist.cells_of_net(index)
+        digest.update(len(cells).to_bytes(8, "little"))
+        for cell in cells:
+            digest.update(cell.to_bytes(8, "little"))
+    return digest.hexdigest()
+
+
+def fingerprint_config(config: FinderConfig) -> str:
+    """SHA-256 fingerprint of the result-relevant fields of a config.
+
+    Numeric values are normalized to the field's declared type first:
+    ``FinderConfig(refine_length_factor=2)`` (e.g. from a JSON manifest)
+    compares equal to the default ``2.0`` and must fingerprint identically.
+    """
+    float_fields = {
+        field.name
+        for field in dataclasses.fields(FinderConfig)
+        if field.type in ("float", float)
+    }
+    fields = {}
+    for name, value in dataclasses.asdict(config).items():
+        if name in _EXECUTION_ONLY_FIELDS:
+            continue
+        if name in float_fields and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        fields[name] = value
+    canonical = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256()
+    digest.update(b"repro-config-v%d" % FINGERPRINT_VERSION)
+    digest.update(canonical.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def job_fingerprint(
+    netlist: Netlist,
+    config: FinderConfig,
+    netlist_fingerprint: Optional[str] = None,
+) -> str:
+    """Fingerprint of one detection job (netlist content x config content).
+
+    ``netlist_fingerprint`` may be supplied to amortize the netlist hash when
+    many configs run against the same design (the sweep path).
+    """
+    netlist_part = netlist_fingerprint or fingerprint_netlist(netlist)
+    digest = hashlib.sha256()
+    digest.update(b"repro-job-v%d" % FINGERPRINT_VERSION)
+    _hash_update_str(digest, netlist_part)
+    _hash_update_str(digest, fingerprint_config(config))
+    return digest.hexdigest()

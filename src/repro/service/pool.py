@@ -1,0 +1,239 @@
+"""Reusable, cache-aware worker pool for seed-parallel detection runs.
+
+The finder's seed trials are embarrassingly parallel, but a fresh
+``ProcessPoolExecutor`` per run re-pickles the whole netlist for every chunk
+of every run.  :class:`WorkerPool` keeps one executor alive across runs and
+ships each ``(netlist, config)`` context to the workers **once**: workers
+memoize contexts by key in a process-local cache, and later seed batches for
+the same context travel as bare ``(seed_cell, rng_seed)`` pairs.
+
+Protocol: a batch submitted without its context to a worker that has not
+seen it yet returns a *miss* marker; the pool re-submits that batch with the
+context attached, priming the worker for the rest of its lifetime.  A worker
+crash (``BrokenProcessPool``) restarts the executor and replays the
+unfinished batches, up to ``max_retries`` times.
+
+Outcomes are returned in the original job order, so results are independent
+of both the chunking and the worker count — ``workers=8`` reproduces the
+``workers=1`` report exactly.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ServiceError
+from repro.finder.config import FinderConfig
+from repro.finder.finder import _process_batch, _process_seed, _SeedOutcome
+from repro.netlist.hypergraph import Netlist
+from repro.service.fingerprint import job_fingerprint
+
+# Worker-process-local context memo: key -> (netlist, config).  Populated the
+# first time a batch arrives with its context attached.  Bounded: only the
+# most recently used contexts are retained, so a long batch over many large
+# designs holds a few netlists per worker, not all of them; an evicted
+# context that comes back later is re-shipped through the miss protocol.
+_WORKER_CONTEXTS: Dict[str, Tuple[Netlist, FinderConfig]] = {}
+_WORKER_CONTEXT_LIMIT = 4
+
+#: Sentinel a worker returns when asked to run a batch for a context it has
+#: never been shown.
+_MISSING_CONTEXT = "__repro-missing-context__"
+
+_IndexedJob = Tuple[int, Tuple[int, int]]
+
+
+def _worker_run_batch(
+    key: str,
+    indexed_jobs: Sequence[_IndexedJob],
+    context: Optional[Tuple[Netlist, FinderConfig]] = None,
+):
+    """Run ``(index, (seed_cell, rng_seed))`` jobs inside a worker process."""
+    if context is not None:
+        _WORKER_CONTEXTS[key] = context
+    entry = _WORKER_CONTEXTS.get(key)
+    if entry is None:
+        return _MISSING_CONTEXT
+    # LRU maintenance: dicts iterate in insertion order, so re-inserting the
+    # live key and dropping from the front evicts least-recently-used first.
+    del _WORKER_CONTEXTS[key]
+    _WORKER_CONTEXTS[key] = entry
+    while len(_WORKER_CONTEXTS) > _WORKER_CONTEXT_LIMIT:
+        del _WORKER_CONTEXTS[next(iter(_WORKER_CONTEXTS))]
+    netlist, config = entry
+    return [
+        (index, _process_seed(netlist, config, cell, rng))
+        for index, (cell, rng) in indexed_jobs
+    ]
+
+
+@dataclass
+class PoolStats:
+    """Live counters of one :class:`WorkerPool` instance.
+
+    Attributes:
+        batches: seed batches submitted to workers (including re-submits).
+        context_shipments: batches that carried a pickled netlist context.
+        context_misses: batches bounced by an unprimed worker and re-sent.
+        restarts: executor restarts after a worker crash.
+        serial_runs: runs executed inline without touching the executor.
+    """
+
+    batches: int = 0
+    context_shipments: int = 0
+    context_misses: int = 0
+    restarts: int = 0
+    serial_runs: int = 0
+
+
+class WorkerPool:
+    """Persistent process pool that runs seed batches for many detections.
+
+    Args:
+        workers: worker process count; ``<= 1`` executes inline (serial,
+            deterministic, zero pickling).
+        max_retries: executor restarts tolerated per run before giving up
+            with :class:`ServiceError`.
+        batches_per_worker: seed batches carved per worker per run; larger
+            values smooth load imbalance between easy and hard seeds at the
+            cost of more (cheap) submissions.
+    """
+
+    def __init__(
+        self, workers: int, max_retries: int = 2, batches_per_worker: int = 1
+    ) -> None:
+        if workers < 1:
+            raise ServiceError("WorkerPool workers must be >= 1")
+        if max_retries < 0:
+            raise ServiceError("WorkerPool max_retries must be >= 0")
+        if batches_per_worker < 1:
+            raise ServiceError("WorkerPool batches_per_worker must be >= 1")
+        self.workers = workers
+        self.max_retries = max_retries
+        self.batches_per_worker = batches_per_worker
+        self.stats = PoolStats()
+        self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._shipped_keys: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def run_seed_jobs(
+        self,
+        netlist: Netlist,
+        config: FinderConfig,
+        jobs: Sequence[Tuple[int, int]],
+        key: Optional[str] = None,
+    ) -> List[_SeedOutcome]:
+        """Run ``(seed_cell, rng_seed)`` jobs; outcomes in job order.
+
+        ``key`` identifies the ``(netlist, config)`` context across calls —
+        callers that already computed a job fingerprint should pass it to
+        skip re-hashing the netlist.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if self.workers <= 1 or len(jobs) == 1:
+            self.stats.serial_runs += 1
+            return _process_batch(netlist, config, jobs)
+
+        if key is None:
+            key = job_fingerprint(netlist, config)
+        indexed: List[_IndexedJob] = list(enumerate(jobs))
+        num_batches = min(
+            len(indexed), min(self.workers, len(indexed)) * self.batches_per_worker
+        )
+        remaining = [indexed[i::num_batches] for i in range(num_batches)]
+
+        outcomes: List[Optional[_SeedOutcome]] = [None] * len(jobs)
+        ship_context = key not in self._shipped_keys
+        restarts = 0
+        while remaining:
+            executor = self._ensure_executor()
+            context = (netlist, config) if ship_context else None
+            futures = {}
+            broken = False
+            retry: List[List[_IndexedJob]] = []
+            for position, chunk in enumerate(remaining):
+                try:
+                    future = executor.submit(_worker_run_batch, key, chunk, context)
+                except (BrokenProcessPool, RuntimeError):
+                    # The executor died while idle (e.g. a worker was OOM
+                    # killed between runs): replay everything not yet
+                    # submitted on a fresh executor.
+                    broken = True
+                    retry.extend(remaining[position:])
+                    break
+                futures[future] = chunk
+                self.stats.batches += 1
+                if context is not None:
+                    self.stats.context_shipments += 1
+            self._shipped_keys.add(key)
+            try:
+                for future, chunk in futures.items():
+                    try:
+                        result = future.result()
+                    except (BrokenProcessPool, OSError):
+                        broken = True
+                        retry.append(chunk)
+                        continue
+                    if result == _MISSING_CONTEXT:
+                        self.stats.context_misses += 1
+                        retry.append(chunk)
+                        continue
+                    for index, outcome in result:
+                        outcomes[index] = outcome
+            except BaseException:
+                # An application error surfaced from a worker: don't leave
+                # this run's other batches computing into a shared pool that
+                # the next job will queue behind.
+                for future in futures:
+                    future.cancel()
+                raise
+
+            if broken:
+                restarts += 1
+                self.stats.restarts += 1
+                if restarts > self.max_retries:
+                    raise ServiceError(
+                        f"worker pool crashed {restarts} time(s); giving up "
+                        f"after {self.max_retries} restart(s)"
+                    )
+                self._restart_executor()
+            # Any retried batch carries the context: it either bounced off an
+            # unprimed worker or is replayed into a fresh executor.
+            ship_context = bool(retry)
+            remaining = retry
+
+        return outcomes  # type: ignore[return-value]  # every slot is filled
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+            self._shipped_keys.clear()
+        return self._executor
+
+    def _restart_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._shipped_keys.clear()
+
+    def shutdown(self) -> None:
+        """Stop the worker processes (idempotent); the pool may be reused —
+        the next run lazily starts a fresh executor."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._shipped_keys.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

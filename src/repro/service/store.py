@@ -1,0 +1,228 @@
+"""Persistent result store: SQLite index with JSON report payloads.
+
+One SQLite database (``results.sqlite`` inside the cache directory) holds a
+row per job fingerprint.  Reports are stored as JSON (see
+:mod:`repro.service.codec`), which keeps the store portable and greppable
+while SQLite provides atomic upserts, fast primary-key lookups and simple
+eviction queries.
+
+The store keeps live hit/miss counters (:class:`CacheStats`) so batch runs
+can report their cache effectiveness.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError, ServiceError
+from repro.finder.result import FinderReport
+from repro.service.codec import report_from_dict, report_to_dict
+
+logger = logging.getLogger(__name__)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint   TEXT PRIMARY KEY,
+    payload       TEXT NOT NULL,
+    created_at    REAL NOT NULL,
+    last_used_at  REAL NOT NULL,
+    use_count     INTEGER NOT NULL DEFAULT 0,
+    num_gtls      INTEGER NOT NULL,
+    runtime_seconds REAL NOT NULL
+)
+"""
+
+
+@dataclass
+class CacheStats:
+    """Live counters of one store instance (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the store (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.hits} hit(s) / {self.misses} miss(es) "
+            f"({self.hit_rate:.0%} hit rate), {self.puts} put(s)"
+        )
+
+
+class ResultStore:
+    """Persistent fingerprint -> :class:`FinderReport` store.
+
+    >>> store = ResultStore(cache_dir)          # doctest: +SKIP
+    >>> store.put("abc...", report)             # doctest: +SKIP
+    >>> store.get("abc...") == report           # doctest: +SKIP
+    True
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    DB_NAME = "results.sqlite"
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+        self._db_path = os.path.join(cache_dir, self.DB_NAME)
+        try:
+            self._conn = sqlite3.connect(self._db_path)
+            self._conn.execute(_SCHEMA)
+            self._conn.commit()
+        except sqlite3.Error as error:
+            raise ServiceError(
+                f"cannot open result store at {self._db_path}: {error}"
+            ) from error
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[FinderReport]:
+        """Stored report for ``fingerprint``, or ``None`` (counted as a miss)."""
+        self._require_open()
+        with self._wrap_db("cache lookup"):
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        if row is None:
+            self.stats.misses += 1
+            return None
+        try:
+            report = report_from_dict(json.loads(row[0]))
+        except (json.JSONDecodeError, ReproError):
+            # A corrupt or stale row (malformed JSON, codec version skew, a
+            # config that no longer validates) must not poison the run: drop
+            # it and treat the lookup as a miss so the job is recomputed.
+            self.evict(fingerprint)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        try:
+            self._conn.execute(
+                "UPDATE results SET last_used_at = ?, use_count = use_count + 1 "
+                "WHERE fingerprint = ?",
+                (time.time(), fingerprint),
+            )
+            self._conn.commit()
+        except sqlite3.Error as error:
+            # The payload was already read; LRU bookkeeping must not turn a
+            # hit into a failure (e.g. read-only cache dir, lock contention).
+            logger.warning("cache hit bookkeeping failed on %s: %s", self._db_path, error)
+        return report
+
+    def put(self, fingerprint: str, report: FinderReport) -> None:
+        """Insert or replace the report stored under ``fingerprint``."""
+        self._require_open()
+        payload = json.dumps(report_to_dict(report), separators=(",", ":"))
+        now = time.time()
+        with self._wrap_db("cache insert"):
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(fingerprint, payload, created_at, last_used_at, use_count, "
+                " num_gtls, runtime_seconds) VALUES (?, ?, ?, ?, 0, ?, ?)",
+                (fingerprint, payload, now, now, report.num_gtls, report.runtime_seconds),
+            )
+            self._conn.commit()
+        self.stats.puts += 1
+
+    def evict(self, fingerprint: str) -> bool:
+        """Remove one entry; returns True when a row was deleted."""
+        self._require_open()
+        with self._wrap_db("cache eviction"):
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+            )
+            self._conn.commit()
+        evicted = cursor.rowcount > 0
+        if evicted:
+            self.stats.evictions += 1
+        return evicted
+
+    def evict_lru(self, keep: int) -> int:
+        """Keep only the ``keep`` most recently used entries; returns the
+        number of evicted rows."""
+        self._require_open()
+        if keep < 0:
+            raise ServiceError("evict_lru keep must be >= 0")
+        with self._wrap_db("cache eviction"):
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE fingerprint NOT IN ("
+                "SELECT fingerprint FROM results "
+                "ORDER BY last_used_at DESC LIMIT ?)",
+                (keep,),
+            )
+            self._conn.commit()
+        self.stats.evictions += cursor.rowcount
+        return cursor.rowcount
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of evicted rows."""
+        return self.evict_lru(0)
+
+    def entries(self) -> List[Tuple[str, int, float]]:
+        """``(fingerprint, num_gtls, runtime_seconds)`` of every stored row,
+        most recently used first."""
+        self._require_open()
+        return list(
+            self._conn.execute(
+                "SELECT fingerprint, num_gtls, runtime_seconds FROM results "
+                "ORDER BY last_used_at DESC"
+            )
+        )
+
+    def __len__(self) -> int:
+        self._require_open()
+        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def __contains__(self, fingerprint: str) -> bool:
+        self._require_open()
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        return row is not None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying database (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _require_open(self) -> None:
+        if self._conn is None:
+            raise ServiceError("result store is closed")
+
+    @contextlib.contextmanager
+    def _wrap_db(self, operation: str):
+        """Translate raw SQLite failures (locked db, full disk, corruption)
+        into the store's :class:`ServiceError` contract."""
+        try:
+            yield
+        except sqlite3.Error as error:
+            raise ServiceError(
+                f"{operation} failed on {self._db_path}: {error}"
+            ) from error
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -5,6 +5,7 @@ from repro.utils.timer import Timer
 from repro.utils.lazyheap import LazyMaxHeap
 from repro.utils.unionfind import UnionFind
 from repro.utils.tables import format_table
+from repro.utils.jsonio import read_json_file, read_jsonl, write_jsonl
 
 __all__ = [
     "ensure_rng",
@@ -13,4 +14,7 @@ __all__ = [
     "LazyMaxHeap",
     "UnionFind",
     "format_table",
+    "read_json_file",
+    "read_jsonl",
+    "write_jsonl",
 ]

@@ -1,0 +1,46 @@
+"""Tiny JSON / JSON-Lines helpers shared by the CLI and the service layer."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+
+def read_json_file(path: str) -> Any:
+    """Parse one JSON document from ``path``.
+
+    Raises :class:`repro.errors.ParseError` with the offending path on
+    malformed input, matching the package's other readers.
+    """
+    from repro.errors import ParseError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as error:
+        raise ParseError(f"cannot read JSON file: {error}", path=path) from error
+    except json.JSONDecodeError as error:
+        raise ParseError(
+            f"malformed JSON: {error.msg}", path=path, line=error.lineno
+        ) from error
+
+
+def write_jsonl(path: str, rows: Iterable[Dict[str, Any]]) -> int:
+    """Write ``rows`` as JSON Lines; returns the number of rows written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a JSON-Lines file back into a list of dicts."""
+    rows: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

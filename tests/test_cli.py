@@ -92,6 +92,107 @@ def test_experiment_fig2_with_csv(tmp_path, capsys, monkeypatch):
     assert os.path.exists(csv_path)
 
 
+@pytest.fixture
+def batch_setup(tmp_path):
+    """Three small designs plus batch and sweep manifests."""
+    import json
+
+    designs = []
+    for i in range(3):
+        netlist, _ = planted_gtl_graph(700 + 40 * i, [50 + 5 * i], seed=i)
+        path = str(tmp_path / f"d{i}.hgr")
+        write_hgr(netlist, path)
+        designs.append(f"d{i}.hgr")
+    batch = tmp_path / "batch.json"
+    batch.write_text(json.dumps({
+        "defaults": {"num_seeds": 6, "seed": 1},
+        "jobs": [{"design": d, "label": f"job{i}"} for i, d in enumerate(designs)],
+    }))
+    sweep = tmp_path / "sweep.json"
+    sweep.write_text(json.dumps({
+        "designs": designs[:2],
+        "base": {"num_seeds": 4, "seed": 1},
+        "grid": {"lambda_skip": [20, 20]},
+    }))
+    return tmp_path, str(batch), str(sweep)
+
+
+def test_batch_cold_then_warm(batch_setup, capsys):
+    tmp_path, batch, _ = batch_setup
+    cache = str(tmp_path / "cache")
+    assert main(["batch", batch, "--cache-dir", cache, "--quiet"]) == 0
+    cold = capsys.readouterr().out
+    assert "job0" in cold
+    assert "3 job(s): 0 cache hit(s), 3 computed" in cold
+    assert "3 put(s)" in cold
+
+    assert main(["batch", batch, "--cache-dir", cache, "--quiet"]) == 0
+    warm = capsys.readouterr().out
+    assert "3 job(s): 3 cache hit(s), 0 computed" in warm
+    assert "100% hit rate" in warm
+
+
+def test_batch_no_cache_bypass(batch_setup, capsys):
+    tmp_path, batch, _ = batch_setup
+    cache = str(tmp_path / "cache")
+    assert main(["batch", batch, "--cache-dir", cache, "--quiet"]) == 0
+    capsys.readouterr()
+    # --no-cache must recompute even though the cache is populated.
+    assert main(["batch", batch, "--cache-dir", cache, "--no-cache", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "0 cache hit(s), 3 computed" in out
+    assert "cache: cache disabled" in out
+
+
+def test_batch_jsonl_output(batch_setup, capsys):
+    import json
+
+    tmp_path, batch, _ = batch_setup
+    out_path = str(tmp_path / "results.jsonl")
+    assert main(["batch", batch, "--no-cache", "--quiet", "--jsonl", out_path]) == 0
+    rows = [json.loads(line) for line in open(out_path)]
+    assert len(rows) == 3
+    assert rows[0]["label"] == "job0"
+    assert rows[0]["report"]["config"]["num_seeds"] == 6
+    assert len(rows[0]["fingerprint"]) == 64
+
+
+def test_sweep_deduplicates_and_reports(batch_setup, capsys):
+    tmp_path, _, sweep = batch_setup
+    cache = str(tmp_path / "cache")
+    assert main(["sweep", sweep, "--cache-dir", cache, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    # 2 designs x 2 identical grid values -> 4 points, 2 distinct jobs.
+    assert "4 grid point(s) -> 2 distinct job(s) (2 deduplicated)" in out
+
+
+def test_batch_rejects_bad_manifest(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"jobs": "nope"}')
+    assert main(["batch", str(bad), "--no-cache", "--quiet"]) == 2
+    assert "error" in capsys.readouterr().err
+
+    bad.write_text('{"jobs": [{"design": "x.hgr", "bogus_field": 1}]}')
+    assert main(["batch", str(bad), "--no-cache", "--quiet"]) == 2
+    assert "bogus_field" in capsys.readouterr().err
+
+    bad.write_text('{"defaults": ["num_seeds", 16], "jobs": [{"design": "x.hgr"}]}')
+    assert main(["batch", str(bad), "--no-cache", "--quiet"]) == 2
+    assert "defaults" in capsys.readouterr().err
+
+    bad.write_text('{"jobs": [{"design": "missing.hgr"}]}')
+    assert main(["batch", str(bad), "--no-cache", "--quiet"]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+    bad.write_text('{"jobs": [{"design": 42}]}')
+    assert main(["batch", str(bad), "--no-cache", "--quiet"]) == 2
+    assert 'string "design"' in capsys.readouterr().err
+
+    bad.write_text('{"designs": [42], "grid": {"num_seeds": [4]}}')
+    assert main(["sweep", str(bad), "--no-cache", "--quiet"]) == 2
+    assert "must be a string" in capsys.readouterr().err
+
+
 def test_cli_reports_repro_errors(tmp_path, capsys):
     bad = tmp_path / "bad.hgr"
     bad.write_text("bogus header\n")
