@@ -6,6 +6,7 @@ A netlist is modeled as a hypergraph ``G = (V, E)``: ``V`` is a set of cells
 operate on.
 """
 
+from repro.netlist.arrays import NetlistArrays, build_netlist_arrays, geometry_backend
 from repro.netlist.hypergraph import Cell, Net, Netlist
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.ops import (
@@ -28,7 +29,10 @@ __all__ = [
     "Cell",
     "Net",
     "Netlist",
+    "NetlistArrays",
     "NetlistBuilder",
+    "build_netlist_arrays",
+    "geometry_backend",
     "GroupStats",
     "PrefixScanner",
     "boundary_nets",

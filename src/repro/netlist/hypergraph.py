@@ -81,6 +81,7 @@ class Netlist:
         "_name_to_cell",
         "_name_to_net",
         "_total_pins",
+        "_arrays",
     )
 
     def __init__(
@@ -107,6 +108,7 @@ class Netlist:
             name: i for i, name in enumerate(self._net_names)
         }
         self._total_pins = sum(self._cell_pin_counts)
+        self._arrays = None  # lazy NetlistArrays cache (see arrays property)
 
     # ------------------------------------------------------------------
     # Sizes and global statistics
@@ -241,8 +243,37 @@ class Netlist:
         return result
 
     # ------------------------------------------------------------------
+    # Array-backed view
+    # ------------------------------------------------------------------
+    @property
+    def arrays(self):
+        """Cached :class:`~repro.netlist.arrays.NetlistArrays` flat view.
+
+        Built lazily on first access; the cache never invalidates because
+        the netlist is immutable.  Excluded from pickles (workers rebuild
+        it locally on demand).
+        """
+        if self._arrays is None:
+            from repro.netlist.arrays import build_netlist_arrays
+
+            self._arrays = build_netlist_arrays(self)
+        return self._arrays
+
+    # ------------------------------------------------------------------
     # Dunder conveniences
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The array view is a derived cache: rebuildable, potentially large,
+        # and numpy-backed — keep pickles lean and portable without it.
+        return {
+            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_arrays"
+        }
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+        object.__setattr__(self, "_arrays", None)
+
     def __repr__(self) -> str:
         return (
             f"Netlist(cells={self.num_cells}, nets={self.num_nets}, "

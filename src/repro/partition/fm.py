@@ -96,13 +96,20 @@ class FMPartitioner:
 
         passes = 0
         best_cut = self._cut(sides)
+        # A pass always commits at least one move, so a pass where every
+        # move worsens the cut returns sides strictly worse than its input;
+        # snapshot the best sides so the reported (sides, cut) pair always
+        # matches.
+        best_sides = dict(sides)
         improved = True
         while improved and passes < max_passes:
             passes += 1
             sides, pass_cut = self._one_pass(sides)
             improved = pass_cut < best_cut
-            best_cut = min(best_cut, pass_cut)
-        return PartitionResult(sides=sides, cut=best_cut, passes=passes)
+            if improved:
+                best_cut = pass_cut
+                best_sides = dict(sides)
+        return PartitionResult(sides=best_sides, cut=best_cut, passes=passes)
 
     # ------------------------------------------------------------------
     def _random_balanced_start(self) -> Dict[int, int]:

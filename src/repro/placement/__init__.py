@@ -11,7 +11,7 @@ spreading step to give those cells more room (Fig 7).
 
 from repro.placement.region import Die
 from repro.placement.pads import assign_pad_positions
-from repro.placement.quadratic import solve_quadratic_placement
+from repro.placement.quadratic import assemble_quadratic_system, solve_quadratic_placement
 from repro.placement.spreading import diffuse_density, make_fillers, relieve_density, spread_cells
 from repro.placement.legalize import legalize_rows
 from repro.placement.inflation import inflate_cells
@@ -20,6 +20,7 @@ from repro.placement.placer import Placement, place
 __all__ = [
     "Die",
     "assign_pad_positions",
+    "assemble_quadratic_system",
     "solve_quadratic_placement",
     "spread_cells",
     "diffuse_density",

@@ -8,6 +8,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import PlacementError
+from repro.netlist.arrays import geometry_backend
 from repro.netlist.hypergraph import Netlist
 from repro.placement.legalize import legalize_rows
 from repro.placement.pads import assign_pad_positions
@@ -35,17 +36,36 @@ class Placement:
         """Coordinates of ``cell``."""
         return float(self.x[cell]), float(self.y[cell])
 
-    def hpwl(self) -> float:
-        """Total half-perimeter wirelength of the placement."""
-        total = 0.0
-        for net in range(self.netlist.num_nets):
-            cells = list(self.netlist.cells_of_net(net))
-            if len(cells) < 2:
-                continue
-            xs = self.x[cells]
-            ys = self.y[cells]
-            total += float(xs.max() - xs.min() + ys.max() - ys.min())
-        return total
+    def hpwl(self, backend: Optional[str] = None) -> float:
+        """Total half-perimeter wirelength of the placement.
+
+        ``backend`` selects the batched numpy path (default) or the scalar
+        per-net reference loop (``"python"``, also forced globally by
+        ``REPRO_SCALAR_GEOMETRY=1``); both return bit-identical totals.
+        """
+        if geometry_backend(backend) == "python":
+            total = 0.0
+            for net in range(self.netlist.num_nets):
+                cells = list(self.netlist.cells_of_net(net))
+                if len(cells) < 2:
+                    continue
+                xs = self.x[cells]
+                ys = self.y[cells]
+                total += float(xs.max() - xs.min() + ys.max() - ys.min())
+            return total
+        arrays = self.netlist.arrays
+        if arrays.net_cells.size == 0:
+            return 0.0
+        x0, x1, y0, y1 = arrays.net_bboxes(self.x, self.y)
+        # Same left-to-right grouping as the scalar loop's
+        # ``max - min + max - min`` so the per-net spans are bit-identical.
+        spans = x1 - x0 + y1 - y0
+        spans = spans[arrays.net_degrees >= 2]
+        if spans.size == 0:
+            return 0.0
+        # cumsum accumulates left to right like the scalar loop, keeping the
+        # two backends bit-identical (np.sum's pairwise order would not).
+        return float(spans.cumsum()[-1])
 
 
 def place(
@@ -117,8 +137,8 @@ def place(
         raise PlacementError("contraction_weight must be >= 0")
 
     num_cells = netlist.num_cells
-    movable = np.array(netlist.movable_cells(), dtype=np.int64)
-    areas = np.array([netlist.cell_area(c) for c in range(num_cells)])
+    movable = np.flatnonzero(~netlist.arrays.fixed_mask)
+    areas = np.array(netlist.arrays.areas)
 
     # Whitespace fillers participate in spreading/diffusion only.
     movable_area = float(areas[movable].sum()) if movable.size else 0.0
@@ -147,7 +167,6 @@ def place(
         )
         gx[:num_cells], gy[:num_cells] = qx, qy
         gx, gy = spread_cells(gx, gy, all_areas, die, movable=all_movable)
-        fx, fy = gx[num_cells:], gy[num_cells:]
     if contraction_weight > 0:
         qx, qy = solve_quadratic_placement(
             netlist,

@@ -10,6 +10,12 @@ models; this module implements the standard ladder:
   2-pin-equivalent;
 * **spanning tree (RMST)** — Manhattan minimum spanning tree via Prim,
   the usual router-independent estimate for multi-pin nets.
+
+HPWL and star totals over a whole design run batched on the netlist's
+flat pin arrays (:class:`repro.netlist.arrays.NetlistArrays`) via
+``reduceat``; the per-net scalar functions stay as the reference
+implementation (``backend="python"`` or ``REPRO_SCALAR_GEOMETRY=1``) and
+remain the only path for clique/RMST and explicit net subsets.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ReproError
+from repro.netlist.arrays import geometry_backend
 from repro.placement.placer import Placement
 
 
@@ -87,20 +94,53 @@ _MODELS = {
 }
 
 
+def _total_star_vectorized(placement: Placement) -> float:
+    arrays = placement.netlist.arrays
+    if arrays.net_cells.size == 0:
+        return 0.0
+    xs = placement.x[arrays.net_cells]
+    ys = placement.y[arrays.net_cells]
+    starts = arrays.net_ptr[:-1]
+    degrees = arrays.net_degrees.astype(np.float64)
+    centroid_x = np.add.reduceat(xs, starts) / degrees
+    centroid_y = np.add.reduceat(ys, starts) / degrees
+    spread = np.add.reduceat(
+        np.abs(xs - centroid_x[arrays.pin_net]), starts
+    ) + np.add.reduceat(np.abs(ys - centroid_y[arrays.pin_net]), starts)
+    spread = spread[arrays.net_degrees >= 2]
+    return float(spread.sum()) if spread.size else 0.0
+
+
 def total_wirelength(
     placement: Placement,
     model: str = "hpwl",
     nets: Optional[Iterable[int]] = None,
+    backend: Optional[str] = None,
 ) -> float:
-    """Total wirelength of ``placement`` under the named model."""
+    """Total wirelength of ``placement`` under the named model.
+
+    HPWL and star totals over the whole design are computed batched on the
+    flat pin arrays; clique/RMST (sequential per-net algorithms) and
+    explicit ``nets`` subsets always take the scalar per-net path.
+    """
     if model not in _MODELS:
         raise ReproError(f"unknown wirelength model {model!r}; use {sorted(_MODELS)}")
+    if nets is None and geometry_backend(backend) == "numpy":
+        if model == "hpwl":
+            return placement.hpwl(backend="numpy")
+        if model == "star":
+            return _total_star_vectorized(placement)
     function = _MODELS[model]
     if nets is None:
         nets = range(placement.netlist.num_nets)
     return sum(function(placement, net) for net in nets)
 
 
-def wirelength_report(placement: Placement) -> Dict[str, float]:
+def wirelength_report(
+    placement: Placement, backend: Optional[str] = None
+) -> Dict[str, float]:
     """All four models for one placement (HPWL <= RMST always)."""
-    return {model: total_wirelength(placement, model) for model in _MODELS}
+    return {
+        model: total_wirelength(placement, model, backend=backend)
+        for model in _MODELS
+    }

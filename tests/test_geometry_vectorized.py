@@ -1,0 +1,213 @@
+"""Scalar/vectorized geometry parity and the NetlistArrays flat view.
+
+The vectorized hot paths (batched HPWL/star, RUDY demand, quadratic spring
+assembly) must agree with the scalar per-net reference implementations that
+stay available through ``backend="python"`` / ``REPRO_SCALAR_GEOMETRY=1``.
+"""
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist import NetlistBuilder, geometry_backend
+from repro.placement.placer import Placement
+from repro.placement.quadratic import assemble_quadratic_system
+from repro.placement.region import Die
+from repro.routing.congestion import build_congestion_map
+from repro.routing.wirelength import total_wirelength, wirelength_report
+
+
+# ---------------------------------------------------------------- fixtures
+def _random_placement(netlist, seed=0, die=None):
+    rng = np.random.default_rng(seed)
+    die = die or Die(100.0, 100.0)
+    x = rng.uniform(0.0, die.width, netlist.num_cells)
+    y = rng.uniform(0.0, die.height, netlist.num_cells)
+    return Placement(netlist=netlist, die=die, x=x, y=y)
+
+
+@pytest.fixture
+def mixed_degree_netlist():
+    """Degrees 1..8 plus a pad: exercises clique, ring and fixed paths."""
+    rng = random.Random(13)
+    builder = NetlistBuilder()
+    cells = builder.add_cells(40)
+    pad = builder.add_cell("pad0", fixed=True)
+    builder.add_net("pnet", [cells[0], pad])
+    builder.add_net("singleton", [cells[1]])
+    for i, degree in enumerate([2, 2, 3, 3, 4, 5, 6, 7, 8, 8, 2, 5]):
+        builder.add_net(f"n{i}", rng.sample(cells, degree))
+    return builder.build()
+
+
+# ---------------------------------------------------------------- arrays
+def test_netlist_arrays_csr_roundtrip(mixed_netlist):
+    arrays = mixed_netlist.arrays
+    assert arrays.num_cells == mixed_netlist.num_cells
+    assert arrays.num_nets == mixed_netlist.num_nets
+    for net in range(mixed_netlist.num_nets):
+        start, end = arrays.net_ptr[net], arrays.net_ptr[net + 1]
+        assert tuple(arrays.net_cells[start:end]) == mixed_netlist.cells_of_net(net)
+        assert arrays.net_degrees[net] == mixed_netlist.net_degree(net)
+        assert all(arrays.pin_net[start:end] == net)
+    for cell in range(mixed_netlist.num_cells):
+        start, end = arrays.cell_ptr[cell], arrays.cell_ptr[cell + 1]
+        assert tuple(arrays.cell_nets[start:end]) == mixed_netlist.nets_of_cell(cell)
+        assert arrays.areas[cell] == mixed_netlist.cell_area(cell)
+        assert arrays.pin_counts[cell] == mixed_netlist.cell_pin_count(cell)
+        assert arrays.fixed_mask[cell] == mixed_netlist.cell_is_fixed(cell)
+
+
+def test_netlist_arrays_cached_and_readonly(mixed_netlist):
+    arrays = mixed_netlist.arrays
+    assert mixed_netlist.arrays is arrays  # built once
+    with pytest.raises(ValueError):
+        arrays.net_cells[0] = 7
+
+
+def test_netlist_pickle_drops_arrays_cache(mixed_netlist):
+    _ = mixed_netlist.arrays
+    clone = pickle.loads(pickle.dumps(mixed_netlist))
+    assert clone == mixed_netlist
+    assert clone._arrays is None  # cache not shipped
+    # The clone lazily rebuilds an equivalent view.
+    np.testing.assert_array_equal(clone.arrays.net_cells, mixed_netlist.arrays.net_cells)
+
+
+def test_geometry_backend_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALAR_GEOMETRY", raising=False)
+    assert geometry_backend() == "numpy"
+    assert geometry_backend("python") == "python"
+    monkeypatch.setenv("REPRO_SCALAR_GEOMETRY", "1")
+    assert geometry_backend() == "python"
+    monkeypatch.setenv("REPRO_SCALAR_GEOMETRY", "0")
+    assert geometry_backend() == "numpy"
+    with pytest.raises(NetlistError):
+        geometry_backend("fortran")
+
+
+# ---------------------------------------------------------------- hpwl
+def test_hpwl_bit_equal_on_seeded_fixture(small_planted):
+    netlist, _ = small_planted
+    placement = _random_placement(netlist, seed=17)
+    assert placement.hpwl(backend="numpy") == placement.hpwl(backend="python")
+
+
+def test_hpwl_bit_equal_small(mixed_degree_netlist):
+    placement = _random_placement(mixed_degree_netlist, seed=3)
+    assert placement.hpwl(backend="numpy") == placement.hpwl(backend="python")
+
+
+def test_total_wirelength_backends_agree(mixed_degree_netlist):
+    placement = _random_placement(mixed_degree_netlist, seed=5)
+    for model in ("hpwl", "star"):
+        scalar = total_wirelength(placement, model, backend="python")
+        vector = total_wirelength(placement, model, backend="numpy")
+        assert vector == pytest.approx(scalar, rel=1e-12, abs=1e-9)
+
+
+def test_total_wirelength_subset_uses_scalar_path(mixed_degree_netlist):
+    placement = _random_placement(mixed_degree_netlist, seed=5)
+    nets = [2, 3, 4]
+    subset = total_wirelength(placement, "hpwl", nets=nets)
+    reference = total_wirelength(placement, "hpwl", nets=nets, backend="python")
+    assert subset == reference
+
+
+# ---------------------------------------------------------------- RUDY
+def test_congestion_map_backends_agree(small_planted):
+    netlist, _ = small_planted
+    placement = _random_placement(netlist, seed=23)
+    scalar = build_congestion_map(placement, grid=(16, 12), backend="python")
+    vector = build_congestion_map(placement, grid=(16, 12), backend="numpy")
+    np.testing.assert_allclose(
+        vector.demand, scalar.demand, rtol=1e-12, atol=1e-9
+    )
+    assert vector.capacity == pytest.approx(scalar.capacity, rel=1e-12)
+    assert vector.net_boxes == scalar.net_boxes
+
+
+def test_congestion_map_backends_agree_degenerate(mixed_degree_netlist):
+    """Stacked pins (degenerate boxes) widen identically in both backends."""
+    die = Die(50.0, 50.0)
+    x = np.full(mixed_degree_netlist.num_cells, 25.0)
+    y = np.full(mixed_degree_netlist.num_cells, 25.0)
+    placement = Placement(netlist=mixed_degree_netlist, die=die, x=x, y=y)
+    scalar = build_congestion_map(placement, grid=(8, 8), capacity=1.0, backend="python")
+    vector = build_congestion_map(placement, grid=(8, 8), capacity=1.0, backend="numpy")
+    np.testing.assert_allclose(vector.demand, scalar.demand, rtol=1e-12, atol=1e-12)
+    assert vector.net_boxes == scalar.net_boxes
+    assert vector.demand.sum() > 0
+
+
+def test_congestion_occupancy_is_cached(small_planted):
+    netlist, _ = small_planted
+    placement = _random_placement(netlist, seed=29)
+    cmap = build_congestion_map(placement, grid=(8, 8))
+    occupancy = cmap.occupancy
+    assert cmap.occupancy is occupancy  # computed once, reused
+    np.testing.assert_allclose(occupancy, cmap.demand / cmap.capacity)
+
+
+# ---------------------------------------------------------------- assembly
+def test_quadratic_assembly_backends_agree(mixed_degree_netlist):
+    pad = mixed_degree_netlist.cell_index("pad0")
+    pads = {pad: (0.0, 25.0)}
+    for clique_limit in (3, 5):
+        lap_s, bx_s, by_s, mov_s = assemble_quadratic_system(
+            mixed_degree_netlist, pads, clique_limit=clique_limit, backend="python"
+        )
+        lap_v, bx_v, by_v, mov_v = assemble_quadratic_system(
+            mixed_degree_netlist, pads, clique_limit=clique_limit, backend="numpy"
+        )
+        np.testing.assert_array_equal(mov_s, mov_v)
+        difference = (lap_s - lap_v).tocoo()
+        max_delta = np.abs(difference.data).max() if difference.nnz else 0.0
+        assert max_delta <= 1e-9
+        np.testing.assert_allclose(bx_v, bx_s, rtol=1e-12, atol=1e-9)
+        np.testing.assert_allclose(by_v, by_s, rtol=1e-12, atol=1e-9)
+
+
+def test_quadratic_assembly_backends_agree_planted(small_planted):
+    netlist, _ = small_planted
+    lap_s, bx_s, by_s, _ = assemble_quadratic_system(netlist, {}, backend="python")
+    lap_v, bx_v, by_v, _ = assemble_quadratic_system(netlist, {}, backend="numpy")
+    difference = (lap_s - lap_v).tocoo()
+    max_delta = np.abs(difference.data).max() if difference.nnz else 0.0
+    assert max_delta <= 1e-9
+    np.testing.assert_allclose(bx_v, bx_s, atol=1e-9)
+    np.testing.assert_allclose(by_v, by_s, atol=1e-9)
+
+
+# ---------------------------------------------------------------- properties
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_wirelength_ladder_both_backends(seed):
+    """HPWL <= RMST and star >= HPWL on random placements, both backends."""
+    rng = random.Random(seed)
+    builder = NetlistBuilder()
+    num_cells = rng.randint(3, 20)
+    cells = builder.add_cells(num_cells)
+    for i in range(rng.randint(2, 12)):
+        degree = rng.randint(2, min(7, num_cells))
+        builder.add_net(f"n{i}", rng.sample(cells, degree))
+    netlist = builder.build()
+    placement = _random_placement(netlist, seed=seed)
+
+    reports = {
+        backend: wirelength_report(placement, backend=backend)
+        for backend in ("python", "numpy")
+    }
+    for backend, report in reports.items():
+        assert report["hpwl"] <= report["rmst"] + 1e-9, backend
+        assert report["star"] >= report["hpwl"] - 1e-9, backend
+    for model in ("hpwl", "star", "clique", "rmst"):
+        assert reports["numpy"][model] == pytest.approx(
+            reports["python"][model], rel=1e-12, abs=1e-9
+        )
+    # HPWL is bit-identical across backends, not just close.
+    assert placement.hpwl(backend="numpy") == placement.hpwl(backend="python")

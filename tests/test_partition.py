@@ -74,6 +74,46 @@ def test_fm_cut_matches_recount(small_planted):
     assert recount == result.cut
 
 
+def test_fm_sides_and_cut_agree_on_worsening_pass():
+    """Regression: ``run`` must return the sides matching the reported cut.
+
+    From a zero-cut start every move worsens the cut, yet a pass always
+    commits at least one move; the buggy version returned the worsened
+    sides of that pass alongside the earlier (better) cut.
+    """
+    builder = NetlistBuilder()
+    cells = builder.add_cells(5)
+    builder.add_net("n01", [cells[0], cells[1]])
+    builder.add_net("n02", [cells[0], cells[2]])
+    builder.add_net("n12", [cells[1], cells[2]])
+    builder.add_net("n34", [cells[3], cells[4]])
+    netlist = builder.build()
+
+    initial = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1}  # cut 0, locally optimal
+    partitioner = FMPartitioner(netlist, balance_tolerance=0.1, rng=0)
+    result = partitioner.run(initial=initial)
+    recount = cut_size(netlist, result.side_cells(0))
+    assert result.cut == recount
+    assert result.cut == 0
+    assert result.sides == initial
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_fm_sides_always_match_cut(seed):
+    """result.cut always equals the cut recomputed from result.sides."""
+    rng = random.Random(seed)
+    builder = NetlistBuilder()
+    num_cells = rng.randint(4, 24)
+    cells = builder.add_cells(num_cells)
+    for i in range(rng.randint(3, 40)):
+        builder.add_net(f"n{i}", rng.sample(cells, rng.randint(2, min(5, num_cells))))
+    netlist = builder.build()
+
+    result = fm_bisect(netlist, rng=seed)
+    assert result.cut == cut_size(netlist, result.side_cells(0))
+
+
 def test_fm_improves_over_random_start():
     rng = random.Random(5)
     builder = NetlistBuilder()
