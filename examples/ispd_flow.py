@@ -1,35 +1,43 @@
-"""Bookshelf round-trip + placement correlation (the paper's Fig 4 flow).
+"""Bookshelf round-trip + a declared detect -> place -> congestion flow.
 
 Generates an ISPD-2005-shaped benchmark with embedded logic structures,
 writes it in the Bookshelf format the real ISPD benchmarks use, reads it
-back, finds the GTLs, places the design, and shows that each found GTL
-lands as a compact spatial cluster.
+back, and runs a three-stage :class:`repro.flow.Flow` on it: GTL
+detection, analytic placement, RUDY congestion.  It then shows that each
+found GTL lands as a compact spatial cluster.
 
 Drop in a real ISPD .aux file to run the identical flow on the original
 benchmarks:  python examples/ispd_flow.py [path/to/bigblue1.aux]
 
 Run:  python examples/ispd_flow.py
+Environment: REPRO_ISPD_SCALE / REPRO_ISPD_SEEDS shrink the workload
+(used by CI smoke runs); REPRO_CACHE_DIR enables per-stage caching.
 """
 
+import os
 import sys
 import tempfile
 
 import numpy as np
 
-from repro import FinderConfig, find_tangled_logic
+from repro import FinderConfig
 from repro.experiments.fig4 import ascii_placement_map
+from repro.flow import CongestionStage, DetectStage, Flow, PlaceStage
 from repro.generators import default_bigblue1_like, generate_ispd_like
-from repro.io.bookshelf import read_bookshelf, write_bookshelf
-from repro.placement import place
+from repro.io import load_design
+from repro.io.bookshelf import write_bookshelf
+from repro.service import ResultStore
 
 
 def main() -> None:
+    scale = float(os.environ.get("REPRO_ISPD_SCALE", 0.25))
+    num_seeds = int(os.environ.get("REPRO_ISPD_SEEDS", 64))
     if len(sys.argv) > 1:
         aux_path = sys.argv[1]
         print(f"reading Bookshelf design {aux_path}")
-        netlist, _ = read_bookshelf(aux_path)
+        netlist = load_design(aux_path)
     else:
-        spec = default_bigblue1_like(scale=0.25)
+        spec = default_bigblue1_like(scale=scale)
         generated, truth = generate_ispd_like(spec, seed=11)
         print(f"generated {spec.name}: {generated}")
         print(f"embedded structures: { {k: len(v) for k, v in truth.items()} }")
@@ -37,13 +45,35 @@ def main() -> None:
         # Round-trip through the Bookshelf format (what real ISPD files use).
         with tempfile.TemporaryDirectory() as tmp:
             aux_path = write_bookshelf(generated, tmp, "bigblue1_like")
-            netlist, _ = read_bookshelf(aux_path)
+            netlist = load_design(aux_path)
         print(f"bookshelf round-trip OK: {netlist}")
 
-    report = find_tangled_logic(netlist, FinderConfig(num_seeds=64, seed=9))
-    print(f"\n{report.summary()}")
+    flow = Flow(
+        [
+            DetectStage(FinderConfig(num_seeds=num_seeds, seed=9)),
+            PlaceStage(),
+            CongestionStage(grid=(16, 16)),
+        ],
+        name="ispd",
+    )
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", "")
+    if cache_dir:
+        with ResultStore(cache_dir) as store:
+            result = flow.run(netlist, store=store)
+    else:
+        result = flow.run(netlist)
+    print(f"\n{result.summary()}")
 
-    placement = place(netlist)
+    report = result.artifact("detect")
+    placement = result.artifact("place")
+    congestion = result.artifact("congestion")
+    print(report.summary())
+    print(
+        f"\ncongestion: peak occupancy "
+        f"{float(congestion.occupancy.max()):.2f}, "
+        f"{int(np.count_nonzero(congestion.occupancy >= 1.0))} overfull tile(s)"
+    )
+
     print("\nspatial compactness of each found GTL (vs random groups):")
     movable = netlist.movable_cells()
     rng = np.random.default_rng(1)

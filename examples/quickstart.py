@@ -2,30 +2,46 @@
 
 Generates a 10K-cell random hypergraph containing one 800-cell group that
 is far more interconnected internally than externally, runs the paper's
-three-phase finder, and checks the result against the ground truth.
+three-phase finder as a one-stage :class:`repro.flow.Flow`, and checks the
+result against the ground truth.
 
 Run:  python examples/quickstart.py
+Environment: REPRO_QUICKSTART_CELLS / REPRO_QUICKSTART_SEEDS shrink the
+workload (used by CI smoke runs).
 """
 
-from repro import FinderConfig, find_tangled_logic
+import os
+
+from repro import FinderConfig
+from repro.flow import DetectStage, Flow
 from repro.generators import planted_gtl_graph
 
 
 def main() -> None:
+    num_cells = int(os.environ.get("REPRO_QUICKSTART_CELLS", 10_000))
+    num_seeds = int(os.environ.get("REPRO_QUICKSTART_SEEDS", 32))
+    # 800 planted cells at the default 10K size, scaled proportionally.
+    gtl_size = max(50, num_cells * 800 // 10_000)
     netlist, ground_truth = planted_gtl_graph(
-        num_cells=10_000, gtl_sizes=[800], seed=42
+        num_cells=num_cells, gtl_sizes=[gtl_size], seed=42
     )
-    print(f"generated {netlist} with one planted 800-cell GTL")
+    print(f"generated {netlist} with one planted {gtl_size}-cell GTL")
 
     config = FinderConfig(
-        num_seeds=32,  # independent random seed runs (paper: 100)
+        num_seeds=num_seeds,  # independent random seed runs (paper: 100)
         metric="gtl_sd",  # density-aware GTL-Score for Phase II minima
-        seed=7,  # reproducible run
+        seed=7,  # reproducible run (also makes the stage cacheable)
     )
-    report = find_tangled_logic(netlist, config)
+    flow = Flow([DetectStage(config)], name="quickstart")
+    result = flow.run(netlist)
+    print(result.summary())
+    report = result.artifact("detect")
     print(report.summary())
 
     planted = ground_truth[0]
+    if not report.gtls:
+        print("\nno GTLs found at this scale; raise REPRO_QUICKSTART_SEEDS")
+        return
     best = max(report.gtls, key=lambda g: len(g.cells & planted))
     missed = len(planted - best.cells)
     extra = len(best.cells - planted)

@@ -3,10 +3,16 @@ Netlists" (Jindal et al., DAC 2010).
 
 Public API highlights:
 
+* :mod:`repro.flow` — **the composable pipeline API**: declared stage
+  lists (``detect`` / ``partition`` / ``place`` / ``congestion`` /
+  ``soft_blocks`` / ``resynthesis``) executed with per-stage content
+  fingerprints and bit-identical result caching.  ``Flow``, the built-in
+  stages, :func:`~repro.flow.detect` and :func:`~repro.io.load_design` are
+  re-exported here (lazily — importing :mod:`repro` stays light).
 * :class:`~repro.netlist.Netlist` / :class:`~repro.netlist.NetlistBuilder` —
   hypergraph netlists.
 * :func:`~repro.finder.find_tangled_logic` — run the paper's three-phase
-  GTL finder.
+  GTL finder (the function ``DetectStage`` wraps).
 * :mod:`repro.metrics` — nGTL-Score, density-aware GTL-Score, and all the
   baseline cluster metrics.
 * :mod:`repro.generators` — planted random graphs, gate-level structures,
@@ -14,10 +20,13 @@ Public API highlights:
 * :mod:`repro.placement` / :mod:`repro.routing` — the placement and
   congestion substrates used by the routability experiments.
 * :mod:`repro.experiments` — one harness per table/figure of the paper.
+* :mod:`repro.service` — batched detection jobs, the worker pool and the
+  persistent result store the flow layer caches into.
 """
 
 from repro.errors import (
     FinderError,
+    FlowError,
     GenerationError,
     MetricError,
     NetlistError,
@@ -42,7 +51,39 @@ from repro.metrics import (
     normalized_gtl_score,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Names served lazily from :mod:`repro.flow` (PEP 562) so ``import repro``
+#: does not pull the placement/routing numeric stack until a flow is used.
+_FLOW_EXPORTS = frozenset({
+    "Flow",
+    "FlowContext",
+    "FlowResult",
+    "Stage",
+    "StageConfig",
+    "StageResult",
+    "DetectStage",
+    "PartitionStage",
+    "PlaceStage",
+    "CongestionStage",
+    "SoftBlocksStage",
+    "ResynthesisStage",
+    "flow_from_manifest",
+    "detect",
+})
+
+
+def __getattr__(name: str):
+    if name in _FLOW_EXPORTS:
+        import repro.flow as flow
+
+        return getattr(flow, name)
+    if name == "load_design":
+        from repro.io import load_design
+
+        return load_design
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "ReproError",
@@ -54,6 +95,7 @@ __all__ = [
     "PlacementError",
     "GenerationError",
     "ServiceError",
+    "FlowError",
     "Netlist",
     "NetlistBuilder",
     "GTL",
@@ -65,5 +107,7 @@ __all__ = [
     "gtl_score",
     "normalized_gtl_score",
     "density_aware_gtl_score",
+    "load_design",
+    *sorted(_FLOW_EXPORTS),
     "__version__",
 ]

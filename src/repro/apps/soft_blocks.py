@@ -13,12 +13,13 @@ coherent even when the design is placed with aggressive spreading.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import warnings
+from typing import Iterable, Optional, Sequence
 
 from repro.errors import PlacementError
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.hypergraph import Netlist
-from repro.placement.placer import Placement, place
+from repro.placement.placer import Placement
 from repro.placement.region import Die
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -76,14 +77,32 @@ def place_with_soft_blocks(
     rng: RngLike = 0,
     **place_kwargs,
 ) -> Placement:
-    """Place ``netlist`` with each group constrained as a soft block.
+    """Deprecated alias of :func:`repro.flow.place_with_soft_blocks`.
 
-    The attraction netlist is used only for solving; the returned
-    :class:`Placement` references the original netlist (pseudo-nets do not
-    appear in wirelength or congestion analysis).
+    The flow version (a declared ``soft_blocks -> place`` two-stage
+    :class:`~repro.flow.flow.Flow`) produces identical results and adds
+    per-stage fingerprint caching; this shim delegates to it.  ``rng`` must
+    be an ``int`` seed (stage configs are content-fingerprinted, so they
+    cannot carry live generator objects).
     """
-    augmented = soft_block_nets(
-        netlist, groups, chords_per_cell=chords_per_cell, rng=rng
+    warnings.warn(
+        "repro.apps.place_with_soft_blocks is deprecated; "
+        "use repro.flow.place_with_soft_blocks",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    solved = place(augmented, die=die, **place_kwargs)
-    return Placement(netlist=netlist, die=solved.die, x=solved.x, y=solved.y)
+    if not isinstance(rng, int) or isinstance(rng, bool):
+        raise PlacementError(
+            "place_with_soft_blocks now requires an int seed for rng "
+            "(stage configs are content-fingerprinted)"
+        )
+    from repro.flow import place_with_soft_blocks as flow_place_with_soft_blocks
+
+    return flow_place_with_soft_blocks(
+        netlist,
+        groups,
+        die=die,
+        chords_per_cell=chords_per_cell,
+        seed=rng,
+        **place_kwargs,
+    )

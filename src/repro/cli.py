@@ -11,6 +11,9 @@ Subcommands:
   service (shared worker pool, persistent result cache).
 * ``sweep``        — expand a parameter grid over a set of designs,
   deduplicate identical jobs, and run them through the batch service.
+* ``flow run``     — execute a declared multi-stage flow manifest
+  (detect / partition / place / congestion / soft_blocks / resynthesis)
+  over one or more designs, with per-stage fingerprint caching.
 
 Examples::
 
@@ -19,6 +22,7 @@ Examples::
     tangled-logic experiment table1 --scale 0.1
     tangled-logic batch jobs.json --workers 4 --cache-dir .repro-cache
     tangled-logic sweep sweep.json --jsonl points.jsonl
+    tangled-logic flow run flow.json --cache-dir .repro-cache --workers 4
 
 Batch manifest (JSON; design paths are relative to the manifest)::
 
@@ -31,6 +35,14 @@ Sweep manifest::
     {"designs": ["bench/a.hgr", "bench/b.hgr"],
      "base": {"num_seeds": 16, "seed": 1},
      "grid": {"lambda_skip": [0, 20], "metric": ["gtl_sd", "ngtl_s"]}}
+
+Flow manifest::
+
+    {"designs": ["bench/a.hgr"],
+     "stages": [{"stage": "detect", "num_seeds": 32, "seed": 1},
+                {"stage": "partition"},
+                {"stage": "place", "utilization": 0.6},
+                {"stage": "congestion", "grid": [32, 32]}]}
 """
 
 from __future__ import annotations
@@ -42,27 +54,7 @@ from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.finder import FinderConfig, find_tangled_logic
-from repro.netlist.hypergraph import Netlist
-
-
-def _load_design(path: str) -> Netlist:
-    if not os.path.exists(path):
-        from repro.errors import ParseError
-
-        raise ParseError("design file does not exist", path=path)
-    lower = path.lower()
-    if lower.endswith(".aux"):
-        from repro.io.bookshelf import read_bookshelf
-
-        netlist, _ = read_bookshelf(path)
-        return netlist
-    if lower.endswith(".hgr"):
-        from repro.io.hgr import read_hgr
-
-        return read_hgr(path)
-    from repro.io.edgelist import read_edgelist
-
-    return read_edgelist(path)
+from repro.io import load_design as _load_design
 
 
 def _cmd_find_gtl(args: argparse.Namespace) -> int:
@@ -348,6 +340,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _run_service_command(args, execute)
 
 
+def _cmd_flow_run(args: argparse.Namespace) -> int:
+    from repro.flow import flow_from_manifest
+    from repro.service.pool import WorkerPool
+    from repro.utils.jsonio import read_json_file, write_jsonl
+    from repro.utils.tables import format_table
+
+    data = read_json_file(args.manifest)
+    base_dir = os.path.dirname(os.path.abspath(args.manifest))
+    manifest = flow_from_manifest(data, base_dir)
+
+    store = _open_store(args)
+    pool = WorkerPool(args.workers) if args.workers > 1 else None
+    headers = ["design", "stage", "kind", "cache", "time", "summary"]
+    rows = []
+    jsonl_rows = []
+    try:
+        for path in manifest.designs:
+            netlist = _load_design(path)
+            label = os.path.basename(path)
+
+            def _progress(result) -> None:
+                print(
+                    f"[{label}] {result.stage}: {result.cache_label} "
+                    f"({result.runtime_seconds:.2f}s)",
+                    file=sys.stderr,
+                )
+
+            outcome = manifest.flow.run(
+                netlist,
+                store=store,
+                use_cache=not args.no_cache,
+                pool=pool,
+                progress=None if args.quiet else _progress,
+            )
+            for result in outcome.results:
+                rows.append(
+                    [label, result.stage, result.kind, result.cache_label,
+                     f"{result.runtime_seconds:.2f}s", result.metadata_summary()]
+                )
+                jsonl_rows.append({"design": label, **result.to_row()})
+    finally:
+        cache_line = store.stats.summary() if store else "cache disabled"
+        if store:
+            store.close()
+        if pool is not None:
+            pool.shutdown()
+
+    print(format_table(headers, rows))
+    print(f"cache: {cache_line}")
+    if args.jsonl:
+        written = write_jsonl(args.jsonl, jsonl_rows)
+        print(f"wrote {written} row(s) to {args.jsonl}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.netlist.stats import netlist_stats
 
@@ -442,6 +489,23 @@ def build_parser() -> argparse.ArgumentParser:
         svc.add_argument("--quiet", action="store_true",
                          help="suppress per-job progress on stderr")
         svc.set_defaults(func=func)
+
+    flow = sub.add_parser("flow", help="declared multi-stage flows")
+    flow_sub = flow.add_subparsers(dest="flow_command", required=True)
+    flow_run = flow_sub.add_parser(
+        "run", help="execute a flow manifest with per-stage caching"
+    )
+    flow_run.add_argument("manifest", help="JSON flow manifest file")
+    flow_run.add_argument("--workers", type=int, default=1,
+                          help="parallel seed trials inside detection stages")
+    flow_run.add_argument("--cache-dir", default="",
+                          help="result cache directory (default .repro-cache)")
+    flow_run.add_argument("--no-cache", action="store_true",
+                          help="bypass the result cache entirely")
+    flow_run.add_argument("--jsonl", default="", help="write per-stage results here")
+    flow_run.add_argument("--quiet", action="store_true",
+                          help="suppress per-stage progress on stderr")
+    flow_run.set_defaults(func=_cmd_flow_run)
 
     stats = sub.add_parser("stats", help="profile a design file")
     stats.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")

@@ -50,3 +50,8 @@ class GenerationError(ReproError):
 class ServiceError(ReproError):
     """The detection service layer failed (bad manifest, store corruption,
     exhausted worker retries, ...)."""
+
+
+class FlowError(ReproError):
+    """A staged flow was misdeclared or could not run (unknown stage,
+    missing upstream artifact, bad stage config, ...)."""

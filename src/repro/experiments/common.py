@@ -1,56 +1,44 @@
-"""Shared experiment-result container and cached detection entry point.
+"""Shared experiment-result container (and a deprecated detection shim).
 
-Experiment harnesses call :func:`detect` instead of
-:func:`repro.finder.find_tangled_logic` directly.  When the environment
-variable :data:`CACHE_ENV_VAR` names a directory, deterministic runs are
-served from (and recorded into) a :class:`repro.service.store.ResultStore`
-there — re-running a table harness after an interrupted session only pays
-for the rows it has not seen yet.
+Experiment harnesses call :func:`repro.flow.detect` — a one-stage flow —
+instead of :func:`repro.finder.find_tangled_logic` directly.  When the
+environment variable ``REPRO_CACHE_DIR`` names a directory, deterministic
+runs are served from (and recorded into) a
+:class:`repro.service.store.ResultStore` there — re-running a table harness
+after an interrupted session only pays for the rows it has not seen yet.
+
+The :func:`detect` defined here is a deprecated alias kept for callers of
+the pre-flow API.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import write_csv
 from repro.finder.config import FinderConfig
-from repro.finder.finder import find_tangled_logic
 from repro.finder.result import FinderReport
 from repro.netlist.hypergraph import Netlist
 from repro.utils.tables import format_table
 
-#: Set this to a directory path to memoize experiment detection runs.
+#: Same value as :data:`repro.flow.api.CACHE_ENV_VAR`, duplicated as a
+#: literal so importing this module (every experiment harness does) never
+#: pulls in the flow/placement stack.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
 
 def detect(netlist: Netlist, config: Optional[FinderConfig] = None, **overrides) -> FinderReport:
-    """Cache-aware drop-in for :func:`repro.finder.find_tangled_logic`.
+    """Deprecated alias of :func:`repro.flow.detect` (identical results)."""
+    warnings.warn(
+        "repro.experiments.common.detect is deprecated; use repro.flow.detect",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.flow import detect as flow_detect
 
-    Without :data:`CACHE_ENV_VAR` in the environment (or for
-    nondeterministic configs, ``seed=None``) this is a plain finder call.
-    """
-    base = config or FinderConfig()
-    if overrides:
-        base = base.with_overrides(**overrides)
-    cache_dir = os.environ.get(CACHE_ENV_VAR, "")
-    if not cache_dir or base.seed is None:
-        return find_tangled_logic(netlist, base)
-
-    # Deliberately not routed through BatchRunner: a crash in an in-process
-    # experiment run is a bug to surface with its original type and
-    # traceback, not a transient worker failure to stringify and retry.
-    from repro.service.fingerprint import job_fingerprint
-    from repro.service.store import ResultStore
-
-    with ResultStore(cache_dir) as store:
-        fingerprint = job_fingerprint(netlist, base)
-        report = store.get(fingerprint)
-        if report is None:
-            report = find_tangled_logic(netlist, base)
-            store.put(fingerprint, report)
-    return report
+    return flow_detect(netlist, config, **overrides)
 
 
 @dataclass

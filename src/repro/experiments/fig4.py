@@ -14,7 +14,8 @@ from typing import List
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult, detect
+from repro.experiments.common import ExperimentResult
+from repro.flow import detect
 from repro.finder import FinderConfig
 from repro.generators.ispd_like import default_bigblue1_like, generate_ispd_like
 from repro.placement import place

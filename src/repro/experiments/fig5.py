@@ -14,7 +14,8 @@ and plots all three metrics against the group size:
 from __future__ import annotations
 
 from repro.analysis.curves import metric_comparison_curves
-from repro.experiments.common import ExperimentResult, detect
+from repro.experiments.common import ExperimentResult
+from repro.flow import detect
 from repro.finder import FinderConfig
 from repro.generators.ispd_like import default_bigblue1_like, generate_ispd_like
 from repro.utils.rng import ensure_rng

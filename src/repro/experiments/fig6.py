@@ -15,7 +15,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult, detect
+from repro.experiments.common import ExperimentResult
+from repro.flow import detect
 from repro.finder import FinderConfig
 from repro.generators.industrial import IndustrialSpec, generate_industrial
 from repro.placement import place

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.experiments.common import ExperimentResult, detect
+from repro.experiments.common import ExperimentResult
+from repro.flow import detect
 from repro.experiments.fig6 import (
     GRID,
     TARGET_AVERAGE_OCCUPANCY,

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.overlap import match_to_ground_truth
-from repro.experiments.common import ExperimentResult, detect
+from repro.experiments.common import ExperimentResult
+from repro.flow import detect
 from repro.finder import FinderConfig
 from repro.generators.random_gtl import planted_gtl_graph
 

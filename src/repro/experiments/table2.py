@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentResult, detect
+from repro.experiments.common import ExperimentResult
+from repro.flow import detect
 from repro.finder import FinderConfig
 from repro.generators.ispd_like import generate_ispd_like, ispd_like_suite
 from repro.netlist.hypergraph import Netlist

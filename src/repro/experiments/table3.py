@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.overlap import match_to_ground_truth
-from repro.experiments.common import ExperimentResult, detect
+from repro.experiments.common import ExperimentResult
+from repro.flow import detect
 from repro.finder import FinderConfig
 from repro.generators.industrial import IndustrialSpec, generate_industrial
 

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import FinderError
 from repro.metrics.gtl_score import ScoreContext
+from repro.utils.configs import replace_checked
 
 #: Netlist-level Rent exponent assumed when no ordering yields a usable
 #: estimate (0.6 is a typical logic Rent exponent).  Reports produced with
@@ -110,5 +111,10 @@ class FinderConfig:
         return min(100_000, max(64, num_cells // 4))
 
     def with_overrides(self, **kwargs) -> "FinderConfig":
-        """Copy of this config with some fields replaced."""
-        return replace(self, **kwargs)
+        """Copy of this config with some fields replaced.
+
+        Unknown keys raise :class:`~repro.errors.FinderError` listing the
+        valid field names (instead of a bare ``dataclasses.replace``
+        ``TypeError``).
+        """
+        return replace_checked(self, FinderError, **kwargs)

@@ -1,0 +1,95 @@
+"""Convenience entry points expressed as flows.
+
+These are the supported replacements for the pre-flow free functions: each
+is literally a small :class:`~repro.flow.flow.Flow`, so it gets per-stage
+fingerprint caching, the uniform :class:`StageResult` envelope and manifest
+parity for free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Sequence
+
+from repro.finder.config import FinderConfig
+from repro.finder.result import FinderReport
+from repro.flow.flow import Flow
+from repro.flow.stages import DetectStage, PlaceStage, SoftBlocksStage
+from repro.netlist.hypergraph import Netlist
+from repro.placement.placer import Placement
+from repro.placement.region import Die
+from repro.service.store import ResultStore
+
+#: Environment variable naming the default cache directory for the
+#: convenience entry points (the experiment harnesses opt in through it).
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def _resolve_cache_dir(cache_dir: Optional[str]) -> str:
+    if cache_dir is not None:
+        return cache_dir
+    return os.environ.get(CACHE_ENV_VAR, "")
+
+
+def detect(
+    netlist: Netlist,
+    config: Optional[FinderConfig] = None,
+    cache_dir: Optional[str] = None,
+    **overrides,
+) -> FinderReport:
+    """Cache-aware detection as a one-stage flow.
+
+    Drop-in for :func:`repro.finder.find_tangled_logic`.  When
+    ``cache_dir`` (or the :data:`CACHE_ENV_VAR` environment variable) names
+    a directory and the config is deterministic (``seed`` pinned), the
+    stage artifact is served from / recorded into a
+    :class:`~repro.service.store.ResultStore` there.
+    """
+    base = config or FinderConfig()
+    if overrides:
+        base = base.with_overrides(**overrides)
+    stage = DetectStage(base)
+    flow = Flow([stage], name="detect")
+    directory = _resolve_cache_dir(cache_dir)
+    if directory and stage.deterministic:
+        with ResultStore(directory) as store:
+            return flow.run(netlist, store=store).artifact("detect")
+    return flow.run(netlist).artifact("detect")
+
+
+def place_with_soft_blocks(
+    netlist: Netlist,
+    groups: Sequence[Iterable[int]],
+    die: Optional[Die] = None,
+    chords_per_cell: float = 0.5,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    **place_kwargs,
+) -> Placement:
+    """Soft-block constrained placement as a two-stage flow.
+
+    Each group becomes a soft block (attraction pseudo-nets); the placement
+    solves on the augmented netlist and the returned
+    :class:`~repro.placement.placer.Placement` references the original
+    design.  ``place_kwargs`` are :class:`~repro.flow.stages.PlaceConfig`
+    fields (``utilization``, ``spreading_iterations``, ...).
+    """
+    flow = Flow(
+        [
+            SoftBlocksStage(
+                groups=tuple(tuple(g) for g in groups),
+                chords_per_cell=chords_per_cell,
+                seed=seed,
+            ),
+            PlaceStage(die=die, **place_kwargs),
+        ],
+        name="soft-blocks",
+    )
+    directory = _resolve_cache_dir(cache_dir)
+    if directory:
+        with ResultStore(directory) as store:
+            return flow.run(netlist, store=store).artifact("place")
+    return flow.run(netlist).artifact("place")
+
+
+__all__ = ["CACHE_ENV_VAR", "detect", "place_with_soft_blocks"]

@@ -1,0 +1,127 @@
+"""Flow manifests: declare a staged run as JSON, run it from the CLI.
+
+Manifest shape (design paths are relative to the manifest file)::
+
+    {"name": "routability",
+     "designs": ["bench/a.hgr", "bench/b.aux"],
+     "stages": [
+        {"stage": "detect", "num_seeds": 32, "seed": 1},
+        {"stage": "partition", "balance_tolerance": 0.1},
+        {"stage": "place", "utilization": 0.6},
+        {"stage": "congestion", "grid": [32, 32]}
+     ]}
+
+Every non-``stage`` key of a stage entry is a config field of that stage;
+unknown fields are rejected with the valid field names.  A few fields take
+JSON-friendly spellings: ``die`` as ``[width, height]`` (or
+``[width, height, num_rows]``) and ``grid``/``groups``/``cells`` as plain
+arrays.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import FlowError
+from repro.flow.flow import Flow
+from repro.flow.stages import BUILTIN_STAGES
+from repro.placement.region import Die
+
+
+@dataclass(frozen=True)
+class FlowManifest:
+    """A parsed flow manifest.
+
+    Attributes:
+        flow: the declared :class:`Flow`.
+        designs: design file paths, resolved against the manifest location.
+    """
+
+    flow: Flow
+    designs: Tuple[str, ...]
+
+
+def _coerce(stage_name: str, key: str, value: Any) -> Any:
+    """JSON spelling -> config value for the few structured fields."""
+    if value is None:
+        return None
+    if key == "die":
+        if not isinstance(value, list) or len(value) not in (2, 3):
+            raise FlowError(
+                f'stage {stage_name!r}: "die" must be [width, height] or '
+                f"[width, height, num_rows]"
+            )
+        return Die(*value)
+    if key == "grid":
+        return tuple(value)
+    if key == "pad_positions":
+        if not isinstance(value, dict):
+            raise FlowError(
+                f'stage {stage_name!r}: "pad_positions" must be an object of '
+                f"cell -> [x, y]"
+            )
+        return {int(cell): tuple(xy) for cell, xy in value.items()}
+    if key == "groups":
+        return tuple(tuple(group) for group in value)
+    if key == "cells":
+        return tuple(value)
+    return value
+
+
+def stage_from_entry(entry: Dict[str, Any]) -> Any:
+    """Build one stage from a manifest entry (``{"stage": name, **fields}``)."""
+    if not isinstance(entry, dict) or not isinstance(entry.get("stage"), str):
+        raise FlowError(
+            'each flow stage entry must be an object with a string "stage" key'
+        )
+    name = entry["stage"]
+    stage_cls = BUILTIN_STAGES.get(name)
+    if stage_cls is None:
+        raise FlowError(
+            f"unknown stage {name!r}; available stages: "
+            f"{', '.join(sorted(BUILTIN_STAGES))}"
+        )
+    fields = {
+        key: _coerce(name, key, value)
+        for key, value in entry.items()
+        if key != "stage"
+    }
+    return stage_cls(**fields)
+
+
+def flow_from_manifest(data: Any, base_dir: str = "") -> FlowManifest:
+    """Parse a manifest document into a :class:`FlowManifest`.
+
+    Accepts ``"designs": [...]`` or a single ``"design": "path"``.
+    """
+    if not isinstance(data, dict) or not isinstance(data.get("stages"), list):
+        raise FlowError(
+            'flow manifest must be {"designs": [...], "stages": [{...}, ...]}'
+        )
+    if not data["stages"]:
+        raise FlowError("flow manifest has no stages")
+
+    raw_designs = data.get("designs")
+    if raw_designs is None and isinstance(data.get("design"), str):
+        raw_designs = [data["design"]]
+    if not isinstance(raw_designs, list) or not raw_designs:
+        raise FlowError('flow manifest needs a non-empty "designs" list')
+
+    designs: List[str] = []
+    for index, design in enumerate(raw_designs):
+        if not isinstance(design, str):
+            raise FlowError(f'flow manifest "designs" entry #{index} must be a string')
+        designs.append(
+            design if os.path.isabs(design) else os.path.join(base_dir, design)
+        )
+
+    stages = [stage_from_entry(entry) for entry in data["stages"]]
+    name = data.get("name", "flow")
+    if not isinstance(name, str):
+        raise FlowError('flow manifest "name" must be a string')
+    return FlowManifest(flow=Flow(stages, name=name), designs=tuple(designs))
+
+
+__all__ = ["FlowManifest", "flow_from_manifest", "stage_from_entry"]

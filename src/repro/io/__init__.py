@@ -4,13 +4,60 @@
   2005/2006 placement benchmarks (``.aux``, ``.nodes``, ``.nets``, ``.pl``).
 * :mod:`repro.io.edgelist` — plain edge-list graphs.
 * :mod:`repro.io.hgr` — hMETIS-style hypergraph files.
+
+:func:`load_design` dispatches on the file extension, so every consumer
+(CLI, flow manifests, scripts) shares one loader.
 """
 
+from __future__ import annotations
+
+import os
+
+from repro.errors import ParseError
 from repro.io.bookshelf import read_bookshelf, write_bookshelf
 from repro.io.edgelist import read_edgelist, write_edgelist
 from repro.io.hgr import read_hgr, write_hgr
+from repro.netlist.hypergraph import Netlist
+
+#: Edge-list file extensions accepted by :func:`load_design`.
+EDGELIST_EXTENSIONS = (".edges", ".edgelist", ".el", ".txt")
+
+_SUPPORTED = (
+    ".aux (Bookshelf)",
+    ".hgr (hMETIS hypergraph)",
+    "/".join(EDGELIST_EXTENSIONS) + " (edge list)",
+)
+
+
+def load_design(path: str) -> Netlist:
+    """Load a design file, dispatching on its extension.
+
+    Supports ``.aux`` (Bookshelf), ``.hgr`` (hMETIS) and
+    ``.edges``/``.edgelist``/``.el``/``.txt`` (edge list).  Raises
+    :class:`~repro.errors.ParseError` for missing files and for unknown
+    extensions, naming the supported formats.
+    """
+    if not os.path.exists(path):
+        raise ParseError("design file does not exist", path=path)
+    lower = path.lower()
+    if lower.endswith(".aux"):
+        netlist, _ = read_bookshelf(path)
+        return netlist
+    if lower.endswith(".hgr"):
+        return read_hgr(path)
+    if lower.endswith(EDGELIST_EXTENSIONS):
+        return read_edgelist(path)
+    extension = os.path.splitext(path)[1] or "(none)"
+    raise ParseError(
+        f"unsupported design extension {extension!r}; "
+        f"supported formats: {', '.join(_SUPPORTED)}",
+        path=path,
+    )
+
 
 __all__ = [
+    "load_design",
+    "EDGELIST_EXTENSIONS",
     "read_bookshelf",
     "write_bookshelf",
     "read_edgelist",

@@ -1,14 +1,25 @@
-"""Stable content fingerprints for netlists and finder configurations.
+"""Stable content fingerprints for netlists, configs and flow stages.
 
-The detection service recognizes repeated work by hashing the *content* of a
-``(Netlist, FinderConfig)`` pair — not object identity — so a design loaded
-twice (or in two different processes) maps to the same cache entry.  Hashes
-are SHA-256 over a canonical byte stream, which makes them stable across
-process restarts and machines (unlike the builtin ``hash``, which Python
-salts per process for strings).
+The service and flow layers recognize repeated work by hashing *content* —
+not object identity — so a design loaded twice (or in two different
+processes) maps to the same cache entry.  Hashes are SHA-256 over a
+canonical byte stream, which makes them stable across process restarts and
+machines (unlike the builtin ``hash``, which Python salts per process for
+strings).
 
-Execution-only knobs (currently ``workers``) are excluded from the config
-fingerprint: they change how fast a detection runs, never what it returns.
+Three levels of key:
+
+* :func:`fingerprint_netlist` — the full content of a design;
+* :func:`fingerprint_frozen_config` — any frozen config dataclass, with
+  execution-only knobs (e.g. ``workers``: they change how fast a stage
+  runs, never what it returns) excluded;
+* :func:`stage_fingerprint` — one flow stage: its name, its config
+  fingerprint and the fingerprints of everything upstream of it (the
+  design plus every prior stage), so *any* stage artifact — not just a
+  detection report — is content-addressable.
+
+:func:`job_fingerprint` (detection-specific, the PR-1 service key) is kept
+and expressed in the same vocabulary.
 """
 
 from __future__ import annotations
@@ -16,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.finder.config import FinderConfig
 from repro.netlist.hypergraph import Netlist
@@ -60,29 +71,95 @@ def fingerprint_netlist(netlist: Netlist) -> str:
     return digest.hexdigest()
 
 
-def fingerprint_config(config: FinderConfig) -> str:
-    """SHA-256 fingerprint of the result-relevant fields of a config.
+def _normalize_config_value(value, field_type) -> object:
+    """Canonical JSON-safe form of one config field value.
 
-    Numeric values are normalized to the field's declared type first:
-    ``FinderConfig(refine_length_factor=2)`` (e.g. from a JSON manifest)
-    compares equal to the default ``2.0`` and must fingerprint identically.
+    Integers land where floats are expected whenever configs come from JSON
+    manifests (``2`` for ``2.0``); equal configs must fingerprint
+    identically no matter where they were parsed.  Scalars are normalized
+    to their declared field type — recursively through nested dataclasses
+    (e.g. a ``Die`` inside a place config) — and declared-int fields are
+    left untouched (coercing them through float would alias large seeds).
+    Inside containers (grids, groups, pad coordinates) no declared type is
+    available, so *every* non-bool int is canonicalized to float; container
+    ints are cell indices, tile counts and coordinates, all far below the
+    2**53 bound where that would alias distinct values.
     """
-    float_fields = {
-        field.name
-        for field in dataclasses.fields(FinderConfig)
-        if field.type in ("float", float)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _normalize_config_value(
+                getattr(value, field.name), field.type
+            )
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_normalize_config_value(item, "float") for item in value]
+    if isinstance(value, dict):
+        return {
+            key: _normalize_config_value(item, "float")
+            for key, item in value.items()
+        }
+    type_name = field_type if isinstance(field_type, str) else getattr(
+        field_type, "__name__", str(field_type)
+    )
+    if (
+        isinstance(value, int)
+        and not isinstance(value, bool)
+        and "float" in type_name
+    ):
+        return float(value)
+    return value
+
+
+def fingerprint_frozen_config(
+    config, execution_only: frozenset = frozenset()
+) -> str:
+    """SHA-256 fingerprint of any frozen config dataclass.
+
+    The canonical form is a sorted compact-JSON dump of the config's
+    fields with ``execution_only`` fields dropped, numeric values
+    normalized to their declared types (see :func:`_normalize_config_value`)
+    and the config's class name mixed in (two stage configs with identical
+    fields must not collide).
+    """
+    fields = {
+        field.name: _normalize_config_value(getattr(config, field.name), field.type)
+        for field in dataclasses.fields(config)
+        if field.name not in execution_only
     }
-    fields = {}
-    for name, value in dataclasses.asdict(config).items():
-        if name in _EXECUTION_ONLY_FIELDS:
-            continue
-        if name in float_fields and isinstance(value, int) and not isinstance(value, bool):
-            value = float(value)
-        fields[name] = value
-    canonical = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    canonical = json.dumps(fields, sort_keys=True, separators=(",", ":"), default=list)
     digest = hashlib.sha256()
     digest.update(b"repro-config-v%d" % FINGERPRINT_VERSION)
+    _hash_update_str(digest, type(config).__name__)
     digest.update(canonical.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def fingerprint_config(config: FinderConfig) -> str:
+    """SHA-256 fingerprint of the result-relevant fields of a
+    :class:`FinderConfig` (``workers`` excluded)."""
+    return fingerprint_frozen_config(config, execution_only=_EXECUTION_ONLY_FIELDS)
+
+
+def stage_fingerprint(
+    stage_name: str,
+    config_fingerprint: str,
+    input_fingerprints: Sequence[str],
+) -> str:
+    """Fingerprint of one flow stage's output.
+
+    ``input_fingerprints`` carries everything the stage can observe: the
+    design fingerprint plus, in order, the fingerprint of every stage that
+    ran before it.  Any upstream change therefore re-keys every downstream
+    artifact — the conservative (always sound) invalidation rule.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-stage-v%d" % FINGERPRINT_VERSION)
+    _hash_update_str(digest, stage_name)
+    _hash_update_str(digest, config_fingerprint)
+    digest.update(len(input_fingerprints).to_bytes(8, "little"))
+    for fingerprint in input_fingerprints:
+        _hash_update_str(digest, fingerprint)
     return digest.hexdigest()
 
 

@@ -1,13 +1,20 @@
-"""Persistent result store: SQLite index with JSON report payloads.
+"""Persistent result store: SQLite index with JSON artifact payloads.
 
 One SQLite database (``results.sqlite`` inside the cache directory) holds a
-row per job fingerprint.  Reports are stored as JSON (see
-:mod:`repro.service.codec`), which keeps the store portable and greppable
-while SQLite provides atomic upserts, fast primary-key lookups and simple
-eviction queries.
+row per fingerprint.  Payloads are stored as JSON, which keeps the store
+portable and greppable while SQLite provides atomic upserts, fast
+primary-key lookups and simple eviction queries.
 
-The store keeps live hit/miss counters (:class:`CacheStats`) so batch runs
-can report their cache effectiveness.
+The store is artifact-agnostic: every row carries a ``kind`` tag (e.g.
+``"finder_report"``, ``"placement"``, ``"congestion"``) and a
+``schema_version`` stamp.  Rows written under an older schema version — or
+by a database that predates the column entirely — are treated as misses,
+evicted and rewritten, never mis-decoded.  The original
+:meth:`ResultStore.get`/:meth:`ResultStore.put` detection-report interface
+is a thin layer over the generic payload methods.
+
+The store keeps live hit/miss counters (:class:`CacheStats`) so batch and
+flow runs can report their cache effectiveness.
 """
 
 from __future__ import annotations
@@ -18,14 +25,24 @@ import logging
 import os
 import sqlite3
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError, ServiceError
 from repro.finder.result import FinderReport
 from repro.service.codec import report_from_dict, report_to_dict
 
 logger = logging.getLogger(__name__)
+
+#: Row-level schema version.  Bump whenever the payload conventions change
+#: (e.g. a codec rewrite) so every previously persisted row reads as a miss
+#: and is recomputed under the new scheme instead of being mis-decoded.
+#: Version 1 was the PR-1 report-only store; version 2 added generic
+#: artifact kinds.
+SCHEMA_VERSION = 2
+
+#: ``kind`` tag of detection-report rows (the PR-1 payloads).
+KIND_FINDER_REPORT = "finder_report"
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -35,7 +52,9 @@ CREATE TABLE IF NOT EXISTS results (
     last_used_at  REAL NOT NULL,
     use_count     INTEGER NOT NULL DEFAULT 0,
     num_gtls      INTEGER NOT NULL,
-    runtime_seconds REAL NOT NULL
+    runtime_seconds REAL NOT NULL,
+    kind          TEXT NOT NULL DEFAULT 'finder_report',
+    schema_version INTEGER NOT NULL DEFAULT 0
 )
 """
 
@@ -68,7 +87,7 @@ class CacheStats:
 
 
 class ResultStore:
-    """Persistent fingerprint -> :class:`FinderReport` store.
+    """Persistent fingerprint -> JSON-payload store.
 
     >>> store = ResultStore(cache_dir)          # doctest: +SKIP
     >>> store.put("abc...", report)             # doctest: +SKIP
@@ -87,6 +106,7 @@ class ResultStore:
         try:
             self._conn = sqlite3.connect(self._db_path)
             self._conn.execute(_SCHEMA)
+            self._migrate()
             self._conn.commit()
         except sqlite3.Error as error:
             raise ServiceError(
@@ -94,23 +114,57 @@ class ResultStore:
             ) from error
         self.stats = CacheStats()
 
+    def _migrate(self) -> None:
+        """Bring a database created by an older release up to this schema.
+
+        Added columns default ``schema_version`` to 0, so pre-existing rows
+        are recognized as stale on lookup and rewritten.
+        """
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(results)")
+        }
+        if "kind" not in columns:
+            self._conn.execute(
+                "ALTER TABLE results ADD COLUMN kind TEXT NOT NULL "
+                f"DEFAULT '{KIND_FINDER_REPORT}'"
+            )
+        if "schema_version" not in columns:
+            self._conn.execute(
+                "ALTER TABLE results ADD COLUMN schema_version INTEGER "
+                "NOT NULL DEFAULT 0"
+            )
+
     # ------------------------------------------------------------------
-    def get(self, fingerprint: str) -> Optional[FinderReport]:
-        """Stored report for ``fingerprint``, or ``None`` (counted as a miss)."""
+    def get_payload(
+        self, fingerprint: str, kind: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Stored payload dict for ``fingerprint``, or ``None`` (a miss).
+
+        A row whose ``schema_version`` differs from the current
+        :data:`SCHEMA_VERSION`, whose ``kind`` does not match ``kind``
+        (when given), or whose payload is not valid JSON is evicted and
+        reported as a miss so the caller recomputes and rewrites it.
+        """
         self._require_open()
         with self._wrap_db("cache lookup"):
             row = self._conn.execute(
-                "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
+                "SELECT payload, kind, schema_version FROM results "
+                "WHERE fingerprint = ?",
+                (fingerprint,),
             ).fetchone()
         if row is None:
             self.stats.misses += 1
             return None
-        try:
-            report = report_from_dict(json.loads(row[0]))
-        except (json.JSONDecodeError, ReproError):
-            # A corrupt or stale row (malformed JSON, codec version skew, a
-            # config that no longer validates) must not poison the run: drop
-            # it and treat the lookup as a miss so the job is recomputed.
+        payload_text, row_kind, row_version = row
+        data: Optional[Dict[str, Any]] = None
+        if row_version == SCHEMA_VERSION and (kind is None or row_kind == kind):
+            try:
+                data = json.loads(payload_text)
+            except json.JSONDecodeError:
+                data = None
+        if not isinstance(data, dict):
+            # Version skew, kind collision or corruption: drop the row and
+            # treat the lookup as a miss so the entry is recomputed.
             self.evict(fingerprint)
             self.stats.misses += 1
             return None
@@ -126,22 +180,80 @@ class ResultStore:
             # The payload was already read; LRU bookkeeping must not turn a
             # hit into a failure (e.g. read-only cache dir, lock contention).
             logger.warning("cache hit bookkeeping failed on %s: %s", self._db_path, error)
-        return report
+        return data
 
-    def put(self, fingerprint: str, report: FinderReport) -> None:
-        """Insert or replace the report stored under ``fingerprint``."""
+    def put_payload(
+        self,
+        fingerprint: str,
+        payload: Dict[str, Any],
+        kind: str,
+        num_items: int = 0,
+        runtime_seconds: float = 0.0,
+    ) -> None:
+        """Insert or replace the payload stored under ``fingerprint``.
+
+        ``num_items``/``runtime_seconds`` are indexed metadata (listed by
+        :meth:`entries`, usable in eviction policies) — the payload itself
+        is opaque to the store.
+        """
         self._require_open()
-        payload = json.dumps(report_to_dict(report), separators=(",", ":"))
+        text = json.dumps(payload, separators=(",", ":"))
         now = time.time()
         with self._wrap_db("cache insert"):
             self._conn.execute(
                 "INSERT OR REPLACE INTO results "
                 "(fingerprint, payload, created_at, last_used_at, use_count, "
-                " num_gtls, runtime_seconds) VALUES (?, ?, ?, ?, 0, ?, ?)",
-                (fingerprint, payload, now, now, report.num_gtls, report.runtime_seconds),
+                " num_gtls, runtime_seconds, kind, schema_version) "
+                "VALUES (?, ?, ?, ?, 0, ?, ?, ?, ?)",
+                (
+                    fingerprint,
+                    text,
+                    now,
+                    now,
+                    num_items,
+                    runtime_seconds,
+                    kind,
+                    SCHEMA_VERSION,
+                ),
             )
             self._conn.commit()
         self.stats.puts += 1
+
+    def demote_hit(self, fingerprint: str) -> None:
+        """Reclassify the latest hit on ``fingerprint`` as a miss and evict.
+
+        Used by callers that decode payloads themselves (the flow layer)
+        when a structurally valid JSON payload fails artifact decoding —
+        e.g. codec version skew inside the payload.
+        """
+        self.stats.hits -= 1
+        self.stats.misses += 1
+        self.evict(fingerprint)
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[FinderReport]:
+        """Stored report for ``fingerprint``, or ``None`` (counted as a miss)."""
+        data = self.get_payload(fingerprint, kind=KIND_FINDER_REPORT)
+        if data is None:
+            return None
+        try:
+            return report_from_dict(data)
+        except ReproError:
+            # A stale row (codec version skew, a config that no longer
+            # validates) must not poison the run: drop it and treat the
+            # lookup as a miss so the job is recomputed.
+            self.demote_hit(fingerprint)
+            return None
+
+    def put(self, fingerprint: str, report: FinderReport) -> None:
+        """Insert or replace the report stored under ``fingerprint``."""
+        self.put_payload(
+            fingerprint,
+            report_to_dict(report),
+            kind=KIND_FINDER_REPORT,
+            num_items=report.num_gtls,
+            runtime_seconds=report.runtime_seconds,
+        )
 
     def evict(self, fingerprint: str) -> bool:
         """Remove one entry; returns True when a row was deleted."""
@@ -178,8 +290,8 @@ class ResultStore:
         return self.evict_lru(0)
 
     def entries(self) -> List[Tuple[str, int, float]]:
-        """``(fingerprint, num_gtls, runtime_seconds)`` of every stored row,
-        most recently used first."""
+        """``(fingerprint, num_items, runtime_seconds)`` of every stored
+        row, most recently used first."""
         self._require_open()
         return list(
             self._conn.execute(

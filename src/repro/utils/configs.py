@@ -1,0 +1,40 @@
+"""Validated dataclass-config overrides.
+
+``dataclasses.replace`` surfaces an unknown keyword as a bare ``TypeError``
+whose message names ``__init__`` instead of the config the caller typed.
+:func:`replace_checked` front-loads the field check so every config in the
+package (``FinderConfig``, the flow stage configs) rejects unknown keys with
+an error that names the config class and lists its valid fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Type, TypeVar
+
+ConfigT = TypeVar("ConfigT")
+
+
+def replace_checked(
+    config: ConfigT, error_cls: Type[Exception], **overrides
+) -> ConfigT:
+    """``dataclasses.replace`` that rejects unknown fields helpfully.
+
+    Args:
+        config: a dataclass instance to copy-with-changes.
+        error_cls: exception type raised on unknown keys (each subsystem
+            keeps its own error family, e.g. ``FinderError`` / ``FlowError``).
+        **overrides: field values to replace.
+
+    Raises:
+        ``error_cls`` naming the unknown key(s) and listing valid fields.
+    """
+    valid = [field.name for field in dataclasses.fields(config) if field.init]
+    unknown = sorted(set(overrides) - set(valid))
+    if unknown:
+        cls = type(config).__name__
+        raise error_cls(
+            f"unknown {cls} field(s) {', '.join(map(repr, unknown))}; "
+            f"valid fields: {', '.join(valid)}"
+        )
+    return dataclasses.replace(config, **overrides)
