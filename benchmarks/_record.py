@@ -1,0 +1,67 @@
+"""Shared helper for machine-readable benchmark records.
+
+Benchmarks that feed the repo's performance trajectory write one
+``BENCH_<name>.json`` file at the repository root via :func:`record`, so
+successive PRs can diff structured numbers instead of scraping log lines
+(in the spirit of recorded workload results in benchmark harnesses like
+opensearch-benchmark).
+
+Schema::
+
+    {
+      "benchmark": "<name>",
+      "schema_version": 1,
+      "created_unix": <float, seconds>,
+      "python": "3.11.7",
+      "smoke": false,
+      "results": {...benchmark-specific payload...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Mapping, Optional
+
+#: Repository root (benchmarks/ lives directly under it).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCHEMA_VERSION = 1
+
+
+def record(
+    name: str,
+    results: Mapping,
+    smoke: bool = False,
+    path: Optional[Path] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path.
+
+    Args:
+        name: benchmark identifier (file name suffix).
+        results: JSON-safe benchmark payload.
+        smoke: True when the run was a reduced CI smoke.  A smoke run never
+            overwrites an existing full-scale record — the trajectory keeps
+            real numbers even when smoke suites run afterwards.
+        path: override the output path (tests).
+    """
+    out = path or (REPO_ROOT / f"BENCH_{name}.json")
+    if smoke and out.exists():
+        try:
+            if not json.loads(out.read_text()).get("smoke", True):
+                return out
+        except (OSError, ValueError):
+            pass  # unreadable record: overwrite it
+    payload = {
+        "benchmark": name,
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "smoke": smoke,
+        "results": dict(results),
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

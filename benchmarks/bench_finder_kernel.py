@@ -1,0 +1,134 @@
+"""Scalar vs array detection kernel on industrial-like designs.
+
+Runs the full three-phase finder under both backends (see
+:mod:`repro.netlist.backend`) on two `generators.industrial` scenarios:
+
+* ``small`` — the default ~15K-cell Table-3 design;
+* ``industrial50k`` — a ~53K-cell variant with large dissolved ROMs
+  (~8.7K cells each) around wide (2^10-line) decoders, the fat-fanout
+  regime the paper's industrial testcase describes.
+
+For each scenario/config the two backends must produce bit-identical
+reports — same GTL cell sets, sizes, cuts and seeds, scores within 1e-9 —
+which is the invariant that lets flow caches be shared across backends.
+
+The 50K scenario is measured in two finder configurations:
+
+* ``exact`` — ``lambda_skip=0``, the paper's exact connection-weight
+  algorithm with no update skipping.  This is the acceptance measurement:
+  the array kernel must be **>= 5x** faster than the scalar reference at
+  full scale (the scalar path drowns in per-pin dict updates, O(degree)
+  cut-delta recounts and a garbage-clogged lazy heap).
+* ``lambda20`` — the default skip optimization, which shrinks update
+  volume for both backends and narrows the gap (~3x); recorded for
+  transparency, no floor asserted.
+
+Results are written to ``BENCH_finder_kernel.json`` at the repo root via
+:mod:`benchmarks._record` (the machine-readable perf trajectory).
+
+``REPRO_BENCH_SMOKE=1`` shrinks both scenarios to CI-smoke size and skips
+the speedup floor (tiny designs cannot amortize anything); the parity
+checks always run.
+"""
+
+import os
+import time
+
+try:
+    from benchmarks._record import record
+except ImportError:  # invoked outside the repo root: benchmarks/ is on sys.path
+    from _record import record
+from repro.finder.config import FinderConfig
+from repro.finder.finder import TangledLogicFinder
+from repro.generators.industrial import IndustrialSpec, generate_industrial
+from repro.netlist.backend import forced_backend
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+if SMOKE:
+    SMALL_SPEC = IndustrialSpec(glue_gates=1500, rom_blocks=((4, 12), (4, 10)))
+    BIG_SPEC = IndustrialSpec(glue_gates=2500, rom_blocks=((5, 16), (5, 16)))
+    NUM_SEEDS = 4
+else:
+    SMALL_SPEC = IndustrialSpec()  # the default Table-3-like design (~15K)
+    BIG_SPEC = IndustrialSpec(
+        glue_gates=30000,
+        rom_blocks=((10, 384), (10, 384), (9, 192)),
+    )
+    NUM_SEEDS = 8
+
+
+def _run_backend(netlist, config, backend):
+    with forced_backend(backend):
+        start = time.perf_counter()
+        report = TangledLogicFinder(netlist, config).run()
+        return time.perf_counter() - start, report
+
+
+def _assert_reports_identical(scalar_report, array_report):
+    """Bit-identical GTL sets; scores within 1e-9; same global exponent."""
+    assert scalar_report.num_gtls == array_report.num_gtls
+    assert scalar_report.num_orderings == array_report.num_orderings
+    assert scalar_report.num_candidates == array_report.num_candidates
+    assert scalar_report.rent_fallback == array_report.rent_fallback
+    assert abs(scalar_report.rent_exponent - array_report.rent_exponent) <= 1e-9
+    for scalar_gtl, array_gtl in zip(scalar_report.gtls, array_report.gtls):
+        assert set(scalar_gtl.cells) == set(array_gtl.cells)
+        assert scalar_gtl.size == array_gtl.size
+        assert scalar_gtl.cut == array_gtl.cut
+        assert scalar_gtl.seed == array_gtl.seed
+        assert abs(scalar_gtl.score - array_gtl.score) <= 1e-9
+        assert abs(scalar_gtl.ngtl_score - array_gtl.ngtl_score) <= 1e-9
+        assert abs(scalar_gtl.gtl_sd_score - array_gtl.gtl_sd_score) <= 1e-9
+
+
+def _measure(netlist, config):
+    scalar_seconds, scalar_report = _run_backend(netlist, config, "python")
+    array_seconds, array_report = _run_backend(netlist, config, "numpy")
+    _assert_reports_identical(scalar_report, array_report)
+    return {
+        "cells": netlist.num_cells,
+        "nets": netlist.num_nets,
+        "num_seeds": config.num_seeds,
+        "lambda_skip": config.lambda_skip,
+        "num_gtls": array_report.num_gtls,
+        "gtl_sizes": [gtl.size for gtl in array_report.gtls],
+        "scalar_s": round(scalar_seconds, 4),
+        "array_s": round(array_seconds, 4),
+        "speedup": round(scalar_seconds / max(array_seconds, 1e-9), 2),
+    }
+
+
+def test_finder_kernel_scalar_vs_array():
+    small_netlist, _ = generate_industrial(SMALL_SPEC, seed=5)
+    big_netlist, _ = generate_industrial(BIG_SPEC, seed=5)
+    small_netlist.arrays  # build CSR views outside the timed regions
+    big_netlist.arrays
+
+    results = {
+        "small": _measure(
+            small_netlist, FinderConfig(num_seeds=NUM_SEEDS, seed=1)
+        ),
+        "industrial50k_exact": _measure(
+            big_netlist, FinderConfig(num_seeds=NUM_SEEDS, seed=1, lambda_skip=0)
+        ),
+        "industrial50k_lambda20": _measure(
+            big_netlist, FinderConfig(num_seeds=NUM_SEEDS, seed=1)
+        ),
+    }
+    path = record("finder_kernel", results, smoke=SMOKE)
+    print(f"\nwrote {path}")
+    for name, row in results.items():
+        print(
+            f"{name}: {row['cells']} cells, scalar {row['scalar_s']}s, "
+            f"array {row['array_s']}s, speedup {row['speedup']}x, "
+            f"gtls {row['num_gtls']}"
+        )
+
+    if not SMOKE:
+        # Acceptance: >= 50K cells and >= 5x on the exact-weight kernel,
+        # with bit-identical reports (asserted above for every row).
+        exact = results["industrial50k_exact"]
+        assert exact["cells"] >= 50_000
+        assert exact["num_gtls"] >= 2  # dissolved ROM blocks are recovered
+        assert exact["speedup"] >= 5.0

@@ -18,12 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import FinderError
 from repro.finder.config import FinderConfig
 from repro.metrics.gtl_score import ScoreContext
-from repro.metrics.rent import estimate_rent_exponent_from_prefixes
+from repro.metrics.rent import (
+    estimate_rent_exponent_from_curves,
+    estimate_rent_exponent_from_prefixes,
+)
+from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Netlist
-from repro.netlist.ops import GroupStats, PrefixScanner
+from repro.netlist.ops import GroupStats, PrefixScanner, scan_ordering_curves
 
 
 @dataclass(frozen=True)
@@ -50,8 +56,35 @@ class CandidateGTL:
         return len(self.cells)
 
 
-def scan_ordering(netlist: Netlist, ordering: Sequence[int]) -> List[GroupStats]:
+def ordering_curves_and_rent(
+    netlist: Netlist,
+    ordering: Sequence[int],
+    min_size: int,
+    rent_exponent: Optional[float] = None,
+    fallback: float = 0.6,
+):
+    """Array-backend prefix curves plus the ordering's Rent estimate.
+
+    The shared entry of every numpy-backend Phase II path (curve scoring,
+    candidate extraction, the finder's candidate-less rent recovery):
+    estimating from the same curves in one place keeps the backends'
+    parity contract in one spot.  ``rent_exponent`` skips the estimate
+    when the caller already fixed one.
+    """
+    curves = scan_ordering_curves(netlist, ordering)
+    if rent_exponent is None:
+        rent_exponent = estimate_rent_exponent_from_curves(
+            curves, min_size=min_size, fallback=fallback
+        )
+    return curves, rent_exponent
+
+
+def scan_ordering(
+    netlist: Netlist, ordering: Sequence[int], backend: Optional[str] = None
+) -> List[GroupStats]:
     """Per-prefix :class:`GroupStats` for ``ordering`` (linear total work)."""
+    if resolve_backend(backend) == "numpy":
+        return scan_ordering_curves(netlist, ordering).stats_list()
     scanner = PrefixScanner(netlist)
     stats: List[GroupStats] = []
     for cell in ordering:
@@ -66,13 +99,20 @@ def score_curve(
     metric: str,
     rent_exponent: Optional[float] = None,
     rent_min_prefix: int = 8,
+    backend: Optional[str] = None,
 ) -> Tuple[List[float], float]:
     """Score every prefix of ``ordering``.
 
     Returns ``(scores, rent_exponent)`` where the exponent is estimated from
     the ordering itself when not supplied.
     """
-    prefix_stats = scan_ordering(netlist, ordering)
+    if resolve_backend(backend) == "numpy":
+        curves, rent_exponent = ordering_curves_and_rent(
+            netlist, ordering, rent_min_prefix, rent_exponent
+        )
+        context = ScoreContext.for_netlist(netlist, rent_exponent, metric=metric)
+        return context.score_curves(curves).tolist(), rent_exponent
+    prefix_stats = scan_ordering(netlist, ordering, backend="python")
     if rent_exponent is None:
         rent_exponent = estimate_rent_exponent_from_prefixes(
             prefix_stats, min_size=rent_min_prefix
@@ -87,6 +127,7 @@ def extract_candidate(
     config: FinderConfig,
     seed: Optional[int] = None,
     rent_exponent: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> Optional[CandidateGTL]:
     """Run Phase II on one ordering; ``None`` when no clear minimum exists.
 
@@ -99,6 +140,8 @@ def extract_candidate(
         rent_exponent: force a Rent exponent instead of estimating it from
             the ordering (used by Phase III so a candidate family is scored
             consistently).
+        backend: array kernel or scalar reference (both select the same
+            prefix; scores agree to float64 rounding).
     """
     if not ordering:
         raise FinderError("extract_candidate on an empty ordering")
@@ -107,23 +150,40 @@ def extract_candidate(
     if len(ordering) < config.min_gtl_size:
         return None
 
-    prefix_stats = scan_ordering(netlist, ordering)
-    if rent_exponent is None:
-        rent_exponent = estimate_rent_exponent_from_prefixes(
-            prefix_stats, min_size=config.rent_min_prefix
+    if resolve_backend(backend) == "numpy":
+        curves, rent_exponent = ordering_curves_and_rent(
+            netlist, ordering, config.rent_min_prefix, rent_exponent
         )
-    context = ScoreContext.for_netlist(netlist, rent_exponent, metric=config.metric)
+        context = ScoreContext.for_netlist(
+            netlist, rent_exponent, metric=config.metric
+        )
+        scores = context.score_curves(curves)
+        lower = config.min_gtl_size - 1
+        # np.argmin takes the first occurrence of the minimum — the same
+        # prefix the scalar strict-< scan selects.
+        best_index = lower + int(np.argmin(scores[lower:]))
+        best_score = float(scores[best_index])
+        stats_at_best = curves.stats_at(best_index)
+    else:
+        prefix_stats = scan_ordering(netlist, ordering, backend="python")
+        if rent_exponent is None:
+            rent_exponent = estimate_rent_exponent_from_prefixes(
+                prefix_stats, min_size=config.rent_min_prefix
+            )
+        context = ScoreContext.for_netlist(
+            netlist, rent_exponent, metric=config.metric
+        )
+        best_index = -1
+        best_score = float("inf")
+        for index in range(config.min_gtl_size - 1, len(ordering)):
+            score = context.score(prefix_stats[index])
+            if score < best_score:
+                best_score = score
+                best_index = index
+        if best_index < 0:
+            return None
+        stats_at_best = prefix_stats[best_index]
 
-    best_index = -1
-    best_score = float("inf")
-    for index in range(config.min_gtl_size - 1, len(ordering)):
-        score = context.score(prefix_stats[index])
-        if score < best_score:
-            best_score = score
-            best_index = index
-
-    if best_index < 0:
-        return None
     if best_score >= config.clear_min_threshold:
         return None  # no clear minimum: curve never dips below threshold
     boundary = int(config.boundary_fraction * len(ordering))
@@ -133,7 +193,7 @@ def extract_candidate(
     return CandidateGTL(
         cells=frozenset(ordering[: best_index + 1]),
         score=best_score,
-        stats=prefix_stats[best_index],
+        stats=stats_at_best,
         rent_exponent=rent_exponent,
         seed=seed,
     )

@@ -45,7 +45,15 @@ _SeedOutcome = Tuple[Optional[CandidateGTL], float, int]
 def _process_seed(
     netlist: Netlist, config: FinderConfig, seed_cell: int, rng_seed: int
 ) -> _SeedOutcome:
-    """Run Phases I-III for one seed cell (independent unit of work)."""
+    """Run Phases I-III for one seed cell (independent unit of work).
+
+    The kernel backend (CSR arrays vs scalar reference, see
+    :mod:`repro.netlist.backend`) is resolved here once per seed; both
+    backends produce identical outcomes.
+    """
+    from repro.netlist.backend import resolve_backend
+
+    backend = resolve_backend()
     max_length = config.resolve_order_length(netlist.num_cells)
     ordering = grow_linear_ordering(
         netlist,
@@ -53,18 +61,28 @@ def _process_seed(
         max_length,
         lambda_skip=config.lambda_skip,
         exclude_fixed=config.exclude_fixed,
+        backend=backend,
     )
-    candidate = extract_candidate(netlist, ordering, config, seed=seed_cell)
+    candidate = extract_candidate(
+        netlist, ordering, config, seed=seed_cell, backend=backend
+    )
     orderings_grown = 1
     if candidate is None:
         # Still recover the ordering's Rent estimate for the global average.
         # NaN marks an ordering with no usable prefix so it is *excluded*
         # from the average instead of dragging it toward the assumed 0.6;
         # when every ordering is unusable the finder flags rent_fallback.
+        if backend == "numpy":
+            from repro.finder.candidate import ordering_curves_and_rent
+
+            _, rent = ordering_curves_and_rent(
+                netlist, ordering, config.rent_min_prefix, fallback=float("nan")
+            )
+            return None, rent, orderings_grown
         from repro.finder.candidate import scan_ordering
         from repro.metrics.rent import estimate_rent_exponent_from_prefixes
 
-        prefix_stats = scan_ordering(netlist, ordering)
+        prefix_stats = scan_ordering(netlist, ordering, backend=backend)
         rent = estimate_rent_exponent_from_prefixes(
             prefix_stats, min_size=config.rent_min_prefix, fallback=float("nan")
         )
@@ -76,6 +94,7 @@ def _process_seed(
         config,
         rent_exponent=candidate.rent_exponent,
         rng=rng_seed,
+        backend=backend,
     )
     orderings_grown += config.refine_count
     return refined, candidate.rent_exponent, orderings_grown
@@ -150,7 +169,7 @@ class TangledLogicFinder:
                 global_rent = sum(rents) / len(rents)
 
             rescored = [self._rescore(c, global_rent) for c in candidates]
-            kept = prune_overlapping(rescored)
+            kept = prune_overlapping(rescored, netlist=self.netlist)
             gtls = tuple(self._to_gtl(c) for c in kept)
 
         return FinderReport(

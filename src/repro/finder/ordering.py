@@ -22,6 +22,10 @@ Implementation notes
   pins outside the group — their per-pin weight contribution is below
   1/21 and barely changes.  The *first* touch of a net is never skipped so
   every reachable cell enters the frontier.
+* :class:`LinearOrderingGrower` is the scalar reference; the default
+  backend is its CSR-array port
+  :class:`~repro.finder.kernel.ArrayOrderingGrower`, which grows
+  bit-identical orderings (see :mod:`repro.netlist.backend`).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import FinderError
+from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Netlist
 from repro.utils.lazyheap import LazyMaxHeap
 
@@ -147,15 +152,43 @@ class LinearOrderingGrower:
         self._heap.push(cell, self._weight[cell], float(-self.cut_delta(cell)))
 
 
+def make_grower(
+    netlist: Netlist,
+    seed: int,
+    lambda_skip: int = 20,
+    exclude_fixed: bool = True,
+    backend: Optional[str] = None,
+):
+    """Instantiate the Phase I grower of the selected backend.
+
+    Both growers expose the same API and produce bit-identical orderings;
+    the array backend is typically much faster on large designs.
+    """
+    if resolve_backend(backend) == "numpy":
+        from repro.finder.kernel import ArrayOrderingGrower
+
+        return ArrayOrderingGrower(
+            netlist, seed, lambda_skip=lambda_skip, exclude_fixed=exclude_fixed
+        )
+    return LinearOrderingGrower(
+        netlist, seed, lambda_skip=lambda_skip, exclude_fixed=exclude_fixed
+    )
+
+
 def grow_linear_ordering(
     netlist: Netlist,
     seed: int,
     max_length: int,
     lambda_skip: int = 20,
     exclude_fixed: bool = True,
+    backend: Optional[str] = None,
 ) -> List[int]:
     """Convenience wrapper: one Phase I ordering of at most ``max_length``."""
-    grower = LinearOrderingGrower(
-        netlist, seed, lambda_skip=lambda_skip, exclude_fixed=exclude_fixed
+    grower = make_grower(
+        netlist,
+        seed,
+        lambda_skip=lambda_skip,
+        exclude_fixed=exclude_fixed,
+        backend=backend,
     )
     return grower.grow(max_length)

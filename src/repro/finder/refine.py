@@ -17,42 +17,40 @@ from repro.finder.config import FinderConfig
 from repro.finder.ordering import grow_linear_ordering
 from repro.metrics.gtl_score import ScoreContext
 from repro.netlist.hypergraph import Netlist
-from repro.netlist.ops import group_stats
+from repro.netlist.ops import group_connected, group_stats
 from repro.utils.rng import RngLike, ensure_rng
 
 
 def score_group(
-    netlist: Netlist, cells: Iterable[int], context: ScoreContext
+    netlist: Netlist,
+    cells: Iterable[int],
+    context: ScoreContext,
+    backend: Optional[str] = None,
 ) -> Optional[float]:
-    """Score an arbitrary cell set; ``None`` for empty sets."""
-    members = set(cells)
+    """Score an arbitrary cell set; ``None`` for empty sets.
+
+    Group statistics are integers in both backends, so the score is
+    bit-identical regardless of ``backend``.
+    """
+    members = cells if isinstance(cells, (set, frozenset)) else set(cells)
     if not members:
         return None
-    return context.score(group_stats(netlist, members))
+    return context.score(group_stats(netlist, members, backend=backend))
 
 
-def is_connected_group(netlist: Netlist, cells: Iterable[int]) -> bool:
+def is_connected_group(
+    netlist: Netlist, cells: Iterable[int], backend: Optional[str] = None
+) -> bool:
     """True when ``cells`` induce one connected hypergraph component.
 
     A GTL is a single logic structure; set operations in the genetic family
     can glue together unrelated tangled blocks (whose union may score even
     better under the density-aware metric) or tear a candidate apart, so
-    disconnected family members are rejected.
+    disconnected family members are rejected.  Delegates to
+    :func:`repro.netlist.ops.group_connected` (CSR frontier BFS on the
+    array backend).
     """
-    members = set(cells)
-    if not members:
-        return False
-    start = next(iter(members))
-    seen = {start}
-    stack = [start]
-    while stack:
-        cell = stack.pop()
-        for net in netlist.nets_of_cell(cell):
-            for other in netlist.cells_of_net(net):
-                if other in members and other not in seen:
-                    seen.add(other)
-                    stack.append(other)
-    return len(seen) == len(members)
+    return group_connected(netlist, cells, backend=backend)
 
 
 def genetic_family(sets: List[frozenset]) -> List[frozenset]:
@@ -88,6 +86,7 @@ def refine_candidate(
     config: FinderConfig,
     rent_exponent: float,
     rng: RngLike = None,
+    backend: Optional[str] = None,
 ) -> CandidateGTL:
     """Refine one candidate; returns the best family member as a candidate.
 
@@ -99,6 +98,8 @@ def refine_candidate(
             family consistently (candidates from different orderings carry
             slightly different local estimates).
         rng: randomness for the interior re-seeds.
+        backend: array kernel or scalar reference for the re-grown
+            orderings, family scoring and connectivity checks.
     """
     generator = ensure_rng(rng)
     context = ScoreContext.for_netlist(netlist, rent_exponent, metric=config.metric)
@@ -123,27 +124,35 @@ def refine_candidate(
             max_length,
             lambda_skip=config.lambda_skip,
             exclude_fixed=config.exclude_fixed,
+            backend=backend,
         )
         regrown = extract_candidate(
-            netlist, ordering, config, seed=reseed, rent_exponent=rent_exponent
+            netlist,
+            ordering,
+            config,
+            seed=reseed,
+            rent_exponent=rent_exponent,
+            backend=backend,
         )
         if regrown is not None:
             sets.append(regrown.cells)
 
     best_cells = candidate.cells
-    best_score = score_group(netlist, candidate.cells, context)
+    best_score = score_group(netlist, candidate.cells, context, backend=backend)
     for member in genetic_family(sets):
         if len(member) < config.min_gtl_size:
             continue
-        score = score_group(netlist, member, context)
+        score = score_group(netlist, member, context, backend=backend)
         if score is None or (best_score is not None and score >= best_score):
             continue
-        if member != candidate.cells and not is_connected_group(netlist, member):
+        if member != candidate.cells and not is_connected_group(
+            netlist, member, backend=backend
+        ):
             continue
         best_score = score
         best_cells = member
 
-    stats = group_stats(netlist, best_cells)
+    stats = group_stats(netlist, best_cells, backend=backend)
     return CandidateGTL(
         cells=frozenset(best_cells),
         score=float(best_score),

@@ -72,12 +72,18 @@ class DetectStage(Stage):
         return report
 
     def metadata(self, report) -> Dict[str, object]:
+        from repro.netlist.backend import resolve_backend
+
         best = report.gtls[0] if report.gtls else None
         return {
             "num_gtls": report.num_gtls,
             "best_size": best.size if best else None,
             "best_score": best.score if best else None,
             "rent_exponent": report.rent_exponent,
+            # Execution detail, deliberately outside the fingerprint and the
+            # artifact: both kernel backends produce identical reports, so
+            # caches stay shared across backends.
+            "kernel_backend": resolve_backend(),
         }
 
     def cache_items(self, report) -> int:

@@ -24,9 +24,11 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from repro.errors import MetricError
 from repro.netlist.hypergraph import Netlist
-from repro.netlist.ops import GroupStats, group_stats
+from repro.netlist.ops import GroupStats, PrefixCurves, group_stats
 
 
 def gtl_score(netlist: Netlist, group: Iterable[int], rent_exponent: float) -> float:
@@ -94,12 +96,24 @@ class ScoreContext:
     def for_netlist(
         cls, netlist: Netlist, rent_exponent: float, metric: str = "ngtl_s"
     ) -> "ScoreContext":
-        """Build a context with ``A_G`` taken from ``netlist``."""
-        return cls(
-            rent_exponent=rent_exponent,
-            avg_pins_per_cell=netlist.average_pins_per_cell,
-            metric=metric,
-        )
+        """Build a context with ``A_G`` taken from ``netlist``.
+
+        Contexts are frozen and depend only on ``(netlist, rent_exponent,
+        metric)``, so they are memoized on the netlist's derived-object
+        cache — re-scoring many candidates of one netlist reuses one
+        instance per exponent/metric pair.
+        """
+        key = ("score_context", rent_exponent, metric)
+        cache = netlist.derived_cache
+        context = cache.get(key)
+        if context is None:
+            context = cls(
+                rent_exponent=rent_exponent,
+                avg_pins_per_cell=netlist.average_pins_per_cell,
+                metric=metric,
+            )
+            cache[key] = context
+        return context
 
     def score(self, stats: GroupStats) -> float:
         """Score a group from its :class:`GroupStats` (lower = more tangled)."""
@@ -116,3 +130,19 @@ class ScoreContext:
     def score_all(self, prefix_stats) -> list:
         """Score a sequence of :class:`GroupStats` (one ordering's prefixes)."""
         return [self.score(stats) for stats in prefix_stats]
+
+    def score_curves(self, curves: PrefixCurves) -> np.ndarray:
+        """Score every prefix of a :class:`~repro.netlist.ops.PrefixCurves`.
+
+        Vectorized counterpart of :meth:`score_all` over the array form of
+        an ordering's prefixes; agrees with the scalar scores to float64
+        rounding (well below 1e-9).
+        """
+        sizes = curves.sizes.astype(np.float64)
+        cuts = curves.cuts.astype(np.float64)
+        if self.metric == "gtl_s":
+            return cuts / sizes**self.rent_exponent
+        if self.metric == "ngtl_s":
+            return cuts / (self.avg_pins_per_cell * sizes**self.rent_exponent)
+        exponents = self.rent_exponent * curves.avg_pins / self.avg_pins_per_cell
+        return cuts / (self.avg_pins_per_cell * sizes**exponents)

@@ -17,9 +17,11 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import MetricError
 from repro.netlist.hypergraph import Netlist
-from repro.netlist.ops import GroupStats, PrefixScanner, group_stats
+from repro.netlist.ops import GroupStats, PrefixCurves, PrefixScanner, group_stats
 
 
 def estimate_group_rent_exponent(netlist: Netlist, group: Iterable[int]) -> float:
@@ -74,6 +76,32 @@ def estimate_rent_exponent_from_prefixes(
     if not estimates:
         return fallback
     return sum(estimates) / len(estimates)
+
+
+def estimate_rent_exponent_from_curves(
+    curves: PrefixCurves,
+    min_size: int = 8,
+    clamp: Tuple[float, float] = (0.1, 1.0),
+    fallback: float = 0.6,
+) -> float:
+    """Vectorized :func:`estimate_rent_exponent_from_prefixes` over a whole
+    :class:`~repro.netlist.ops.PrefixCurves`.
+
+    Same estimator, same clamping, same usable-prefix filter; the average
+    runs through ``cumsum`` so the float accumulation order matches the
+    scalar left-to-right sum.
+    """
+    low, high = clamp
+    usable = (curves.sizes >= min_size) & (curves.cuts > 0) & (curves.pins > 0)
+    if not usable.any():
+        return fallback
+    sizes = curves.sizes[usable]
+    cuts = curves.cuts[usable].astype(np.float64)
+    avg_pins = curves.pins[usable] / sizes
+    with np.errstate(divide="ignore", invalid="ignore"):
+        values = (np.log(cuts) - np.log(avg_pins)) / np.log(sizes.astype(np.float64))
+    values = np.clip(values, low, high)
+    return float(np.cumsum(values)[-1]) / values.size
 
 
 def fit_rent_exponent(

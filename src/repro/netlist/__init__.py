@@ -6,21 +6,30 @@ A netlist is modeled as a hypergraph ``G = (V, E)``: ``V`` is a set of cells
 operate on.
 """
 
-from repro.netlist.arrays import NetlistArrays, build_netlist_arrays, geometry_backend
+from repro.netlist.arrays import (
+    NetlistArrays,
+    build_netlist_arrays,
+    gather_segments,
+    geometry_backend,
+)
+from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Cell, Net, Netlist
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.ops import (
     GroupStats,
+    PrefixCurves,
     PrefixScanner,
     boundary_nets,
     connected_components,
     cut_size,
     external_pin_count,
+    group_connected,
     group_pin_count,
     group_stats,
     induced_netlist,
     internal_nets,
     neighbors_of_group,
+    scan_ordering_curves,
 )
 from repro.netlist.stats import NetlistStats, netlist_stats
 from repro.netlist.validate import validate_netlist
@@ -32,15 +41,20 @@ __all__ = [
     "NetlistArrays",
     "NetlistBuilder",
     "build_netlist_arrays",
+    "gather_segments",
     "geometry_backend",
+    "resolve_backend",
     "GroupStats",
+    "PrefixCurves",
     "PrefixScanner",
     "boundary_nets",
     "connected_components",
     "cut_size",
     "external_pin_count",
+    "group_connected",
     "group_pin_count",
     "group_stats",
+    "scan_ordering_curves",
     "induced_netlist",
     "internal_nets",
     "neighbors_of_group",

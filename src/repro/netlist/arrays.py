@@ -21,13 +21,12 @@ immutable and its array view must be too.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.errors import NetlistError
+from repro.netlist.backend import resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.netlist.hypergraph import Netlist
@@ -36,19 +35,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def geometry_backend(backend: Optional[str] = None) -> str:
     """Resolve a geometry backend name.
 
-    ``None`` picks ``"numpy"`` unless the ``REPRO_SCALAR_GEOMETRY``
-    environment variable is set to a non-empty, non-"0" value, which forces
-    the scalar reference implementation everywhere (the escape hatch the
-    parity tests cross-check against).
+    Alias of :func:`repro.netlist.backend.resolve_backend`, kept for the
+    PR 2 call sites; one switch now governs geometry *and* the detection
+    kernel (``REPRO_SCALAR_BACKEND=1`` forces the scalar reference, with
+    ``REPRO_SCALAR_GEOMETRY`` honored as a deprecated alias).
     """
-    if backend is None:
-        scalar = os.environ.get("REPRO_SCALAR_GEOMETRY", "").strip()
-        backend = "python" if scalar not in ("", "0") else "numpy"
-    if backend not in ("numpy", "python"):
-        raise NetlistError(
-            f"unknown geometry backend {backend!r}; use 'numpy' or 'python'"
-        )
-    return backend
+    return resolve_backend(backend)
+
+
+def gather_segments(
+    flat: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``flat[starts[i] : starts[i] + lengths[i]]`` segments.
+
+    The CSR equivalent of ``np.concatenate([...])`` over many slices without
+    a Python loop; segment order (and order within segments) is preserved,
+    which the detection kernel relies on for bit-exact accumulation order.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return flat[:0]
+    offsets = np.zeros(len(lengths), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    return flat[np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, lengths)]
 
 
 @dataclass(frozen=True)

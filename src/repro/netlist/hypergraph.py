@@ -82,6 +82,7 @@ class Netlist:
         "_name_to_net",
         "_total_pins",
         "_arrays",
+        "_derived",
     )
 
     def __init__(
@@ -109,6 +110,7 @@ class Netlist:
         }
         self._total_pins = sum(self._cell_pin_counts)
         self._arrays = None  # lazy NetlistArrays cache (see arrays property)
+        self._derived = {}  # derived-object cache (see derived_cache property)
 
     # ------------------------------------------------------------------
     # Sizes and global statistics
@@ -259,20 +261,34 @@ class Netlist:
             self._arrays = build_netlist_arrays(self)
         return self._arrays
 
+    @property
+    def derived_cache(self) -> Dict:
+        """Mutable cache of derived per-netlist objects, keyed by the caller.
+
+        Safe because the netlist is immutable: entries never invalidate.
+        Used for memoized :class:`~repro.metrics.gtl_score.ScoreContext`
+        instances and the detection kernel's scratch workspace.  Like
+        :attr:`arrays`, the cache is excluded from pickles.
+        """
+        return self._derived
+
     # ------------------------------------------------------------------
     # Dunder conveniences
     # ------------------------------------------------------------------
     def __getstate__(self):
-        # The array view is a derived cache: rebuildable, potentially large,
-        # and numpy-backed — keep pickles lean and portable without it.
+        # The array view and derived-object cache are rebuildable, possibly
+        # large, and numpy-backed — keep pickles lean and portable without
+        # them.
+        excluded = ("_arrays", "_derived")
         return {
-            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_arrays"
+            slot: getattr(self, slot) for slot in self.__slots__ if slot not in excluded
         }
 
     def __setstate__(self, state) -> None:
         for slot, value in state.items():
             object.__setattr__(self, slot, value)
         object.__setattr__(self, "_arrays", None)
+        object.__setattr__(self, "_derived", {})
 
     def __repr__(self) -> str:
         return (

@@ -4,19 +4,38 @@ These are the primitives the metrics and the finder are built from: net cut
 ``T(C)``, group pin counts, boundary exploration, induced sub-netlists, and
 an incremental :class:`PrefixScanner` that evaluates every prefix of a linear
 ordering in time linear in the total pin count (the work Phase II needs).
+
+The hot primitives exist in two backends (see
+:mod:`repro.netlist.backend`): the pure-Python dict/set reference
+implementations, and CSR-array versions over
+:class:`~repro.netlist.arrays.NetlistArrays` that compute whole prefix
+curves (:func:`scan_ordering_curves`) or one group's statistics
+(:func:`group_stats`) in a handful of vectorized expressions.  All group
+statistics are integers, so the two backends agree bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.errors import NetlistError
+from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Netlist
 
 
 def _as_set(group: Iterable[int]) -> Set[int]:
     return group if isinstance(group, set) else set(group)
+
+
+def _as_index_array(group: Iterable[int]) -> np.ndarray:
+    """Distinct member indices of ``group`` as a sorted int64 array."""
+    if isinstance(group, np.ndarray):
+        return np.unique(group.astype(np.int64, copy=False))
+    members = group if isinstance(group, (set, frozenset, list, tuple)) else list(group)
+    return np.unique(np.fromiter(members, dtype=np.int64, count=len(members)))
 
 
 def cut_size(netlist: Netlist, group: Iterable[int]) -> int:
@@ -114,8 +133,17 @@ class GroupStats:
     avg_pins: float
 
 
-def group_stats(netlist: Netlist, group: Iterable[int]) -> GroupStats:
-    """Compute :class:`GroupStats` for ``group`` in one pass."""
+def group_stats(
+    netlist: Netlist, group: Iterable[int], backend: Optional[str] = None
+) -> GroupStats:
+    """Compute :class:`GroupStats` for ``group`` in one pass.
+
+    ``backend`` selects the CSR-array kernel or the scalar reference (see
+    :func:`repro.netlist.backend.resolve_backend`); both return identical
+    statistics — all fields are integer counts plus one exact division.
+    """
+    if resolve_backend(backend) == "numpy":
+        return _group_stats_arrays(netlist, group)
     members = _as_set(group)
     if not members:
         raise NetlistError("group_stats of an empty group")
@@ -141,6 +169,90 @@ def group_stats(netlist: Netlist, group: Iterable[int]) -> GroupStats:
         internal_nets=internal,
         avg_pins=pins / len(members),
     )
+
+
+def _group_stats_arrays(netlist: Netlist, group: Iterable[int]) -> GroupStats:
+    """CSR-array implementation of :func:`group_stats`."""
+    from repro.netlist.arrays import gather_segments
+
+    members = _as_index_array(group)
+    size = int(members.size)
+    if not size:
+        raise NetlistError("group_stats of an empty group")
+    arrays = netlist.arrays
+    starts = arrays.cell_ptr[members]
+    lengths = arrays.cell_ptr[members + 1] - starts
+    incident = gather_segments(arrays.cell_nets, starts, lengths)
+    nets, inside = np.unique(incident, return_counts=True)
+    full = inside == arrays.net_degrees[nets]
+    pins = int(arrays.pin_counts[members].sum())
+    return GroupStats(
+        size=size,
+        cut=int(np.count_nonzero(~full)),
+        pins=pins,
+        internal_nets=int(np.count_nonzero(full)),
+        avg_pins=pins / size,
+    )
+
+
+def group_connected(
+    netlist: Netlist, group: Iterable[int], backend: Optional[str] = None
+) -> bool:
+    """True when ``group`` induces one connected hypergraph component.
+
+    Empty groups are not connected.  The array backend runs a frontier BFS
+    over the CSR view (whole frontier levels expanded per step); the scalar
+    reference walks cell by cell.
+    """
+    if resolve_backend(backend) == "numpy":
+        return _group_connected_arrays(netlist, group)
+    members = _as_set(group)
+    if not members:
+        return False
+    start = next(iter(members))
+    seen = {start}
+    stack = [start]
+    while stack:
+        cell = stack.pop()
+        for net in netlist.nets_of_cell(cell):
+            for other in netlist.cells_of_net(net):
+                if other in members and other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+    return len(seen) == len(members)
+
+
+def _group_connected_arrays(netlist: Netlist, group: Iterable[int]) -> bool:
+    """CSR frontier-BFS implementation of :func:`group_connected`."""
+    from repro.netlist.arrays import gather_segments
+
+    members = _as_index_array(group)
+    if not members.size:
+        return False
+    arrays = netlist.arrays
+    in_group = np.zeros(arrays.num_cells, dtype=bool)
+    in_group[members] = True
+    visited = np.zeros(arrays.num_cells, dtype=bool)
+    net_seen = np.zeros(arrays.num_nets, dtype=bool)
+    frontier = members[:1]
+    visited[frontier] = True
+    reached = 1
+    while frontier.size:
+        starts = arrays.cell_ptr[frontier]
+        nets = gather_segments(
+            arrays.cell_nets, starts, arrays.cell_ptr[frontier + 1] - starts
+        )
+        nets = np.unique(nets[~net_seen[nets]])
+        net_seen[nets] = True
+        starts = arrays.net_ptr[nets]
+        cells = gather_segments(
+            arrays.net_cells, starts, arrays.net_ptr[nets + 1] - starts
+        )
+        cells = np.unique(cells[in_group[cells] & ~visited[cells]])
+        visited[cells] = True
+        reached += int(cells.size)
+        frontier = cells
+    return reached == int(members.size)
 
 
 def induced_netlist(
@@ -279,3 +391,121 @@ class PrefixScanner:
             internal_nets=self._internal,
             avg_pins=self.avg_pins,
         )
+
+
+@dataclass(frozen=True)
+class PrefixCurves:
+    """Per-prefix statistics of one linear ordering as flat integer arrays.
+
+    Entry ``k`` describes prefix ``C_{k+1}`` (the first ``k + 1`` cells).
+    The arrays carry exactly the information of one
+    :class:`GroupStats` per prefix — :meth:`stats_at` materializes a single
+    prefix, :meth:`stats_list` the whole (scalar-compatible) list.
+
+    Attributes:
+        sizes: ``1, 2, ..., len(ordering)``.
+        cuts: ``T(C_k)`` per prefix.
+        pins: total pins per prefix.
+        internal: nets fully inside each prefix.
+    """
+
+    sizes: np.ndarray
+    cuts: np.ndarray
+    pins: np.ndarray
+    internal: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def avg_pins(self) -> np.ndarray:
+        """``A_C`` per prefix (exact float64 division of integer arrays)."""
+        return self.pins / self.sizes
+
+    def stats_at(self, index: int) -> GroupStats:
+        """:class:`GroupStats` of prefix ``index`` (0-based)."""
+        size = int(self.sizes[index])
+        pins = int(self.pins[index])
+        return GroupStats(
+            size=size,
+            cut=int(self.cuts[index]),
+            pins=pins,
+            internal_nets=int(self.internal[index]),
+            avg_pins=pins / size,
+        )
+
+    def stats_list(self) -> List[GroupStats]:
+        """All prefixes as a list of :class:`GroupStats`."""
+        return [self.stats_at(i) for i in range(len(self))]
+
+
+def scan_ordering_curves(netlist: Netlist, ordering: Sequence[int]) -> PrefixCurves:
+    """Vectorized equivalent of a full :class:`PrefixScanner` sweep.
+
+    Computes the cut/pins/internal statistics of *every* prefix of
+    ``ordering`` from the CSR view: each incident net contributes a ``+1``
+    cut event at the step that first touches it and a ``-1`` at the step
+    that absorbs its last pin; two ``bincount``/``cumsum`` passes turn the
+    events into whole curves.  All outputs are integers, so the curves
+    match the scalar scanner bit for bit.  Cells in ``ordering`` must be
+    distinct (Phase I orderings always are); duplicates raise
+    :class:`NetlistError`, matching the scalar scanner's contract.
+    """
+    from repro.netlist.arrays import gather_segments
+
+    arrays = netlist.arrays
+    order_cells = np.asarray(ordering, dtype=np.int64)
+    steps = int(order_cells.size)
+    if np.unique(order_cells).size != steps:
+        raise NetlistError("ordering contains a cell twice")
+    if steps == 0:
+        return PrefixCurves(
+            sizes=np.zeros(0, dtype=np.int64),
+            cuts=np.zeros(0, dtype=np.int64),
+            pins=np.zeros(0, dtype=np.int64),
+            internal=np.zeros(0, dtype=np.int64),
+        )
+
+    starts = arrays.cell_ptr[order_cells]
+    lengths = arrays.cell_ptr[order_cells + 1] - starts
+    incident = gather_segments(arrays.cell_nets, starts, lengths)
+    if incident.size == 0:  # ordering of isolated cells: no nets, no cuts
+        zeros = np.zeros(steps, dtype=np.int64)
+        return PrefixCurves(
+            sizes=np.arange(1, steps + 1, dtype=np.int64),
+            cuts=zeros,
+            pins=np.cumsum(arrays.pin_counts[order_cells]),
+            internal=zeros.copy(),
+        )
+    step_of_pin = np.repeat(np.arange(steps, dtype=np.int64), lengths)
+
+    # Stable sort by net keeps each net's steps ascending, so the first and
+    # last element of every net segment are its first-touch and last-touch
+    # steps.
+    order = np.argsort(incident, kind="stable")
+    nets_sorted = incident[order]
+    steps_sorted = step_of_pin[order]
+    seg_start = np.flatnonzero(
+        np.concatenate(([True], nets_sorted[1:] != nets_sorted[:-1]))
+    )
+    seg_end = np.concatenate((seg_start[1:], [nets_sorted.size])) - 1
+    first_touch = steps_sorted[seg_start]
+    last_touch = steps_sorted[seg_end]
+    inside = seg_end - seg_start + 1
+    degrees = arrays.net_degrees[nets_sorted[seg_start]]
+    multi = degrees > 1
+    absorbed = multi & (inside == degrees)
+
+    cut_events = np.bincount(first_touch[multi], minlength=steps).astype(np.int64)
+    cut_events -= np.bincount(last_touch[absorbed], minlength=steps)
+    internal_events = np.bincount(first_touch[~multi], minlength=steps).astype(
+        np.int64
+    )
+    internal_events += np.bincount(last_touch[absorbed], minlength=steps)
+
+    return PrefixCurves(
+        sizes=np.arange(1, steps + 1, dtype=np.int64),
+        cuts=np.cumsum(cut_events),
+        pins=np.cumsum(arrays.pin_counts[order_cells]),
+        internal=np.cumsum(internal_events),
+    )

@@ -41,7 +41,7 @@ class Placement:
 
         ``backend`` selects the batched numpy path (default) or the scalar
         per-net reference loop (``"python"``, also forced globally by
-        ``REPRO_SCALAR_GEOMETRY=1``); both return bit-identical totals.
+        ``REPRO_SCALAR_BACKEND=1``); both return bit-identical totals.
         """
         if geometry_backend(backend) == "python":
             total = 0.0

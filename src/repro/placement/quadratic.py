@@ -19,7 +19,7 @@ with numpy gathers over the netlist's flat pin arrays
 (:class:`repro.netlist.arrays.NetlistArrays`) and scattered into the system
 with ``np.add.at`` — no per-pin ``list.append``.  The original per-pin
 Python assembly stays as the reference (``backend="python"`` or
-``REPRO_SCALAR_GEOMETRY=1``).
+``REPRO_SCALAR_BACKEND=1``).
 """
 
 from __future__ import annotations
@@ -252,7 +252,7 @@ def solve_quadratic_placement(
             more tightly than ordinary logic).
         tol: conjugate-gradient tolerance.
         backend: ``"numpy"`` (batched assembly, default) or ``"python"``
-            (per-pin reference); ``None`` honors ``REPRO_SCALAR_GEOMETRY``.
+            (per-pin reference); ``None`` honors ``REPRO_SCALAR_BACKEND``.
 
     Fixed cells keep their ``pad_positions`` coordinates in the output.
     """

@@ -14,7 +14,7 @@ boxes come from the shared ``reduceat`` kernel
 are widened with ``np.where``, and tile demand accumulates as one matrix
 product of per-axis tile-coverage factors instead of a nested Python tile
 loop.  The original scalar per-net loop stays as the reference
-implementation (``backend="python"`` or ``REPRO_SCALAR_GEOMETRY=1``).
+implementation (``backend="python"`` or ``REPRO_SCALAR_BACKEND=1``).
 """
 
 from __future__ import annotations
@@ -231,7 +231,7 @@ def build_congestion_map(
             ``target_average_occupancy`` — mirroring a technology where the
             design is routable on average but hotspots overshoot.
         backend: ``"numpy"`` (batched, default) or ``"python"`` (scalar
-            per-net reference); ``None`` honors ``REPRO_SCALAR_GEOMETRY``.
+            per-net reference); ``None`` honors ``REPRO_SCALAR_BACKEND``.
     """
     nx, ny = grid
     if nx < 1 or ny < 1:

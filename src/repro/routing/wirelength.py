@@ -14,7 +14,7 @@ models; this module implements the standard ladder:
 HPWL and star totals over a whole design run batched on the netlist's
 flat pin arrays (:class:`repro.netlist.arrays.NetlistArrays`) via
 ``reduceat``; the per-net scalar functions stay as the reference
-implementation (``backend="python"`` or ``REPRO_SCALAR_GEOMETRY=1``) and
+implementation (``backend="python"`` or ``REPRO_SCALAR_BACKEND=1``) and
 remain the only path for clique/RMST and explicit net subsets.
 """
 

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import ServiceError
 from repro.finder.config import FinderConfig
 from repro.finder.finder import _process_batch, _process_seed, _SeedOutcome
+from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Netlist
 from repro.service.fingerprint import job_fingerprint
 
@@ -45,15 +46,26 @@ _MISSING_CONTEXT = "__repro-missing-context__"
 
 _IndexedJob = Tuple[int, Tuple[int, int]]
 
+# A shipped context: (netlist, config, prebuilt NetlistArrays or None).  The
+# netlist pickles without its array view; shipping the parent's built CSR
+# arrays alongside it means no worker ever rebuilds them per context.
+_Context = Tuple[Netlist, FinderConfig, Optional[object]]
+
 
 def _worker_run_batch(
     key: str,
     indexed_jobs: Sequence[_IndexedJob],
-    context: Optional[Tuple[Netlist, FinderConfig]] = None,
+    context: Optional[_Context] = None,
 ):
     """Run ``(index, (seed_cell, rng_seed))`` jobs inside a worker process."""
     if context is not None:
-        _WORKER_CONTEXTS[key] = context
+        netlist, config = context[0], context[1]
+        arrays = context[2] if len(context) > 2 else None
+        if arrays is not None:
+            # Install the shipped CSR view into the unpickled netlist's lazy
+            # cache slot so the array kernel never rebuilds it here.
+            netlist._arrays = arrays
+        _WORKER_CONTEXTS[key] = (netlist, config)
     entry = _WORKER_CONTEXTS.get(key)
     if entry is None:
         return _MISSING_CONTEXT
@@ -152,7 +164,14 @@ class WorkerPool:
         restarts = 0
         while remaining:
             executor = self._ensure_executor()
-            context = (netlist, config) if ship_context else None
+            if ship_context:
+                # Ship the parent's (cached) CSR view with the context so no
+                # worker rebuilds it; under the scalar reference backend the
+                # workers never touch it, so skip the pickling cost.
+                arrays = netlist.arrays if resolve_backend() == "numpy" else None
+                context = (netlist, config, arrays)
+            else:
+                context = None
             futures = {}
             broken = False
             retry: List[List[_IndexedJob]] = []
