@@ -1,0 +1,123 @@
+"""Scalar vs array FM partition kernel on generated designs.
+
+Runs the partition layer under both backends (see
+:mod:`repro.netlist.backend`) on two scenarios:
+
+* ``fm27k`` — one FM bisection of a bigblue1-like ISPD-shaped design at
+  scale 2.0 (~27K cells).  This is the acceptance measurement: the array
+  kernel must be **>= 4x** faster than the scalar reference at full scale
+  (the scalar path drowns in per-move bucket sorting and per-pin dict
+  updates; the array kernel runs on flat per-cell state with split
+  value-validated gain heaps and a vectorized subset restriction).
+* ``ispd_bisection`` — full recursive bisection (the bisection-ordering
+  alternative Phase I) of a bigblue1-like design at scale 1.0 (~15K
+  cells), reusing one shared
+  :class:`~repro.partition.kernel.SubsetCSR` restriction down the tree.
+  Small blocks amortize less, so the gap narrows (~2x); recorded for
+  transparency, no floor asserted.
+
+For each scenario the two backends must produce bit-identical results —
+same sides, cut and pass counts for FM, same leaves in the same order for
+recursive bisection — the invariant that lets flow caches be shared across
+backends.
+
+Results are written to ``BENCH_partition_kernel.json`` at the repo root
+via :mod:`benchmarks._record` (the machine-readable perf trajectory).
+
+``REPRO_BENCH_SMOKE=1`` shrinks both scenarios to CI-smoke size and skips
+the speedup floor (tiny designs cannot amortize anything); the parity
+checks always run.
+"""
+
+import os
+import time
+
+try:
+    from benchmarks._record import record
+except ImportError:  # invoked outside the repo root: benchmarks/ is on sys.path
+    from _record import record
+from repro.generators.ispd_like import default_bigblue1_like, generate_ispd_like
+from repro.netlist.backend import forced_backend
+from repro.partition import fm_bisect, recursive_bisection
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+if SMOKE:
+    FM_SCALE = 0.15
+    BISECTION_SCALE = 0.1
+    MIN_BLOCK = 16
+else:
+    FM_SCALE = 2.0  # ~27K cells
+    BISECTION_SCALE = 1.0  # ~17K cells, ~hundreds of tree nodes
+    MIN_BLOCK = 64
+
+
+def _timed(func, backend):
+    with forced_backend(backend):
+        start = time.perf_counter()
+        result = func()
+        return time.perf_counter() - start, result
+
+
+def _measure_fm(netlist):
+    scalar_seconds, scalar = _timed(lambda: fm_bisect(netlist, rng=1), "python")
+    array_seconds, array = _timed(lambda: fm_bisect(netlist, rng=1), "numpy")
+    assert scalar.sides == array.sides
+    assert scalar.cut == array.cut
+    assert scalar.passes == array.passes
+    return {
+        "cells": netlist.num_cells,
+        "nets": netlist.num_nets,
+        "cut": array.cut,
+        "passes": array.passes,
+        "scalar_s": round(scalar_seconds, 4),
+        "array_s": round(array_seconds, 4),
+        "speedup": round(scalar_seconds / max(array_seconds, 1e-9), 2),
+    }
+
+
+def _measure_bisection(netlist):
+    scalar_seconds, scalar = _timed(
+        lambda: recursive_bisection(netlist, min_block=MIN_BLOCK, rng=3), "python"
+    )
+    array_seconds, array = _timed(
+        lambda: recursive_bisection(netlist, min_block=MIN_BLOCK, rng=3), "numpy"
+    )
+    assert scalar == array  # same leaves, same order
+    return {
+        "cells": netlist.num_cells,
+        "nets": netlist.num_nets,
+        "min_block": MIN_BLOCK,
+        "leaves": len(array),
+        "scalar_s": round(scalar_seconds, 4),
+        "array_s": round(array_seconds, 4),
+        "speedup": round(scalar_seconds / max(array_seconds, 1e-9), 2),
+    }
+
+
+def test_partition_kernel_scalar_vs_array():
+    fm_netlist, _ = generate_ispd_like(default_bigblue1_like(FM_SCALE), seed=5)
+    bisect_netlist, _ = generate_ispd_like(
+        default_bigblue1_like(BISECTION_SCALE), seed=7
+    )
+    fm_netlist.arrays  # build CSR views outside the timed regions
+    bisect_netlist.arrays
+
+    results = {
+        "fm27k": _measure_fm(fm_netlist),
+        "ispd_bisection": _measure_bisection(bisect_netlist),
+    }
+    path = record("partition_kernel", results, smoke=SMOKE)
+    print(f"\nwrote {path}")
+    for name, row in results.items():
+        print(
+            f"{name}: {row['cells']} cells, scalar {row['scalar_s']}s, "
+            f"array {row['array_s']}s, speedup {row['speedup']}x"
+        )
+
+    if not SMOKE:
+        # Acceptance: >= 20K cells and >= 4x on one FM bisection, with
+        # bit-identical partitions (asserted above for every row).
+        fm = results["fm27k"]
+        assert fm["cells"] >= 20_000
+        assert fm["speedup"] >= 4.0

@@ -130,12 +130,18 @@ class PartitionStage(Stage):
         )
 
     def metadata(self, result) -> Dict[str, object]:
+        from repro.netlist.backend import resolve_backend
+
         sides = list(result.sides.values())
         return {
             "cut": result.cut,
             "passes": result.passes,
             "side0": sides.count(0),
             "side1": sides.count(1),
+            # Execution detail, deliberately outside the fingerprint and the
+            # artifact: both FM backends produce bit-identical partitions,
+            # so caches stay shared across backends.
+            "kernel_backend": resolve_backend(),
         }
 
     def cache_items(self, result) -> int:

@@ -1,9 +1,11 @@
-"""Unified compute-backend selection for geometry and the detection kernel.
+"""Unified compute-backend selection for the vectorized hot paths.
 
 Every vectorized hot path in the reproduction — the geometry kernels from
-PR 2 (HPWL, RUDY, quadratic assembly) and the array-backed detection kernel
-(Phase I-III of the finder) — keeps its pure-Python implementation alive as
-a *scalar reference*.  This module is the single switch between the two:
+PR 2 (HPWL, RUDY, quadratic assembly), the array-backed detection kernel
+(Phase I-III of the finder) and the flat-array FM partition kernel
+(:mod:`repro.partition.kernel`) — keeps its pure-Python implementation
+alive as a *scalar reference*.  This module is the single switch between
+the two:
 
 * ``resolve_backend(None)`` returns ``"numpy"`` unless the
   ``REPRO_SCALAR_BACKEND`` environment variable is set to a non-empty,
@@ -15,10 +17,12 @@ a *scalar reference*.  This module is the single switch between the two:
 ``REPRO_SCALAR_GEOMETRY`` (the PR 2 spelling, from when only geometry was
 vectorized) is honored as a deprecated alias and warns once per process.
 
-Both backends produce identical results: orderings and integer group
-statistics are bit-identical by construction, floating-point scores agree
-to well below 1e-9 (see ``tests/test_finder_kernel.py``), and flow
-fingerprints never depend on the backend at all.
+Both backends produce identical results: orderings, integer group
+statistics and FM partitions (move sequences, sides, cuts, pass counts)
+are bit-identical by construction, floating-point scores agree to well
+below 1e-9 (see ``tests/test_finder_kernel.py`` and
+``tests/test_partition_kernel.py``), and flow fingerprints never depend on
+the backend at all.
 """
 
 from __future__ import annotations

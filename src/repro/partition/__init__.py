@@ -5,13 +5,23 @@ generation methods [Alpert & Kahng 1996]"; the classic alternative source
 of orderings is recursive min-cut bisection.  This package provides:
 
 * :mod:`repro.partition.fm` — the Fiduccia-Mattheyses move-based min-cut
-  bisection heuristic with gain buckets and balance constraints;
+  bisection heuristic with gain buckets and balance constraints (the
+  pure-Python scalar reference);
+* :mod:`repro.partition.kernel` — the flat-array FM kernel on the CSR
+  netlist view, bit-identical to the reference and selected by default
+  (``REPRO_SCALAR_BACKEND=1`` forces the reference);
 * :mod:`repro.partition.bisection` — recursive bisection, the derived
   linear ordering, and the classic bisection-based Rent-exponent estimator
   (a cross-check for the paper's ordering-based estimator).
 """
 
-from repro.partition.fm import FMPartitioner, PartitionResult, fm_bisect
+from repro.partition.fm import (
+    FMPartitioner,
+    PartitionResult,
+    fm_bisect,
+    make_partitioner,
+)
+from repro.partition.kernel import ArrayFMPartitioner, SubsetCSR
 from repro.partition.bisection import (
     bisection_ordering,
     estimate_rent_exponent_bisection,
@@ -19,9 +29,12 @@ from repro.partition.bisection import (
 )
 
 __all__ = [
+    "ArrayFMPartitioner",
     "FMPartitioner",
     "PartitionResult",
+    "SubsetCSR",
     "fm_bisect",
+    "make_partitioner",
     "bisection_ordering",
     "estimate_rent_exponent_bisection",
     "recursive_bisection",

@@ -8,14 +8,22 @@ the move sequence is committed.  Passes repeat until no improvement.
 
 This implementation supports hypergraphs directly (gain updates follow the
 standard critical-net conditions) and weighted cell areas.
+
+:class:`FMPartitioner` is the pure-Python *scalar reference*; the flat-array
+counterpart lives in :mod:`repro.partition.kernel` and is selected by
+default through :func:`repro.netlist.backend.resolve_backend` (set
+``REPRO_SCALAR_BACKEND=1`` to force this implementation everywhere).  The
+two are bit-identical in every observable: move sequences, sides, cut and
+pass counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import ReproError
+from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Netlist
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -37,6 +45,52 @@ class PartitionResult:
     def side_cells(self, side: int) -> List[int]:
         """Cells assigned to ``side``."""
         return sorted(c for c, s in self.sides.items() if s == side)
+
+
+def random_balanced_start(
+    cells: Sequence[int],
+    areas: Mapping[int, float],
+    total_area: float,
+    max_area: float,
+    tolerance: float,
+    rng,
+) -> Dict[int, int]:
+    """Shuffled greedy fill of side 0 up to half the total area.
+
+    Shared by both FM backends so the same seed produces the same start
+    everywhere.  The cell whose addition crosses the half-area mark goes to
+    whichever side leaves side 0 closer to half — assigning it to side 0
+    unconditionally (the old behavior) overshoots by up to its full area,
+    which for a large cell violates the balance tolerance before FM even
+    starts.  With the tie resolved greedily the final imbalance is at most
+    ``max_area / 2``, which always satisfies the balance slack
+    ``max(tolerance * total_area, max_area)``; that invariant is asserted
+    here so a regression can never hand FM an infeasible start.
+    """
+    order = list(cells)
+    rng.shuffle(order)
+    sides: Dict[int, int] = {}
+    half = total_area / 2
+    area0 = 0.0
+    for cell in order:
+        if area0 < half:
+            area = areas[cell]
+            if area0 + area - half > half - area0:
+                # Crossing cell overshoots more than it currently fills:
+                # side 0 stays lighter without it.
+                sides[cell] = 1
+            else:
+                sides[cell] = 0
+                area0 += area
+        else:
+            sides[cell] = 1
+    slack = max(tolerance * total_area, max_area)
+    if abs(area0 - half) > slack:
+        raise ReproError(
+            f"random balanced start violates the balance slack: "
+            f"|{area0} - {half}| > {slack}"
+        )
+    return sides
 
 
 class FMPartitioner:
@@ -81,6 +135,9 @@ class FMPartitioner:
 
         self._areas = {c: netlist.cell_area(c) for c in self._cells}
         self._total_area = sum(self._areas.values())
+        # Hoisted out of _balance_ok: recomputing the max per candidate
+        # probe made every pass quadratic in the subset size.
+        self._max_area = max(self._areas.values())
 
     # ------------------------------------------------------------------
     def run(
@@ -113,17 +170,14 @@ class FMPartitioner:
 
     # ------------------------------------------------------------------
     def _random_balanced_start(self) -> Dict[int, int]:
-        order = list(self._cells)
-        self._rng.shuffle(order)
-        sides: Dict[int, int] = {}
-        area0 = 0.0
-        for cell in order:
-            if area0 < self._total_area / 2:
-                sides[cell] = 0
-                area0 += self._areas[cell]
-            else:
-                sides[cell] = 1
-        return sides
+        return random_balanced_start(
+            self._cells,
+            self._areas,
+            self._total_area,
+            self._max_area,
+            self._tolerance,
+            self._rng,
+        )
 
     def _cut(self, sides: Dict[int, int]) -> int:
         cut = 0
@@ -135,7 +189,7 @@ class FMPartitioner:
 
     def _balance_ok(self, area0: float, moving_area: float, from_side: int) -> bool:
         half = self._total_area / 2
-        slack = max(self._tolerance * self._total_area, max(self._areas.values()))
+        slack = max(self._tolerance * self._total_area, self._max_area)
         new_area0 = area0 - moving_area if from_side == 0 else area0 + moving_area
         return abs(new_area0 - half) <= slack
 
@@ -241,15 +295,46 @@ class FMPartitioner:
         return sides, cut_trace[best_index]
 
 
+def make_partitioner(
+    netlist: Netlist,
+    cells: Optional[Sequence[int]] = None,
+    balance_tolerance: float = 0.1,
+    rng: RngLike = 0,
+    backend: Optional[str] = None,
+):
+    """An FM partitioner on the resolved compute backend.
+
+    ``"numpy"`` (the default unless ``REPRO_SCALAR_BACKEND=1``) builds the
+    flat-array :class:`~repro.partition.kernel.ArrayFMPartitioner`;
+    ``"python"`` builds the scalar reference :class:`FMPartitioner`.  Both
+    produce bit-identical results (same move sequences, sides, cut and pass
+    counts) — see ``tests/test_partition_kernel.py``.
+    """
+    if resolve_backend(backend) == "numpy":
+        from repro.partition.kernel import ArrayFMPartitioner
+
+        return ArrayFMPartitioner(
+            netlist, cells=cells, balance_tolerance=balance_tolerance, rng=rng
+        )
+    return FMPartitioner(
+        netlist, cells=cells, balance_tolerance=balance_tolerance, rng=rng
+    )
+
+
 def fm_bisect(
     netlist: Netlist,
     cells: Optional[Sequence[int]] = None,
     balance_tolerance: float = 0.1,
     rng: RngLike = 0,
     max_passes: int = 12,
+    backend: Optional[str] = None,
 ) -> PartitionResult:
     """Convenience wrapper: one FM bisection of ``cells`` (default: all)."""
-    partitioner = FMPartitioner(
-        netlist, cells=cells, balance_tolerance=balance_tolerance, rng=rng
+    partitioner = make_partitioner(
+        netlist,
+        cells=cells,
+        balance_tolerance=balance_tolerance,
+        rng=rng,
+        backend=backend,
     )
     return partitioner.run(max_passes=max_passes)

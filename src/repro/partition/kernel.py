@@ -1,0 +1,483 @@
+"""Flat-array FM bisection on the CSR netlist view.
+
+:class:`ArrayFMPartitioner` is the drop-in counterpart of the scalar
+reference :class:`~repro.partition.fm.FMPartitioner`.  Instead of per-cell
+Python set scans it works on flat state indexed by *local* cell id over a
+:class:`SubsetCSR` — the restriction of the hypergraph to the partitioned
+cell subset, built with vectorized passes over the shared
+:class:`~repro.netlist.arrays.NetlistArrays` view:
+
+* ``side`` / ``gain`` / ``locked`` — per-cell move state in flat Python
+  lists (one FM probe touches a handful of entries; list indexing beats
+  numpy scalar indexing at that grain, exactly as in
+  :mod:`repro.finder.kernel`);
+* per-net side counts as two flat lists, initialized per pass with one
+  ``bincount`` over the restricted pin array;
+* gain buckets as a value-validated lazy heap: an entry ``(-gain, cell)``
+  is live iff the cell is free and its recorded gain is current.  Pop
+  order is (gain descending, cell id ascending) — the scalar reference's
+  exact ``sorted(buckets)`` selection — and entries that fail the balance
+  check are pushed back, mirroring the reference's skip-and-continue scan.
+  Duplicate live entries (a gain that dipped and returned) are harmless:
+  they pop the same ``(gain, cell)`` pair.  Periodic compaction drops
+  superseded entries, like the detection kernel's heap.
+
+Every floating-point decision accumulates in the scalar reference's exact
+order (total area, side-0 area, balance slack), so move sequences, sides,
+cuts and pass counts are bit-identical across backends — the invariant
+that lets :class:`~repro.flow.stages.PartitionStage` share one fingerprint
+space between them.
+
+:class:`SubsetCSR` can restrict itself further (:meth:`SubsetCSR.restrict`),
+so recursive bisection derives each tree node's view from its parent in
+one vectorized pass over the parent's pins instead of re-scanning the full
+netlist per node — the restriction a node needs is exactly its parent's
+nets with at least two pins on the node's side.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.netlist.hypergraph import Netlist
+from repro.partition.fm import PartitionResult, random_balanced_start
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class SubsetCSR:
+    """Restriction of a netlist's hypergraph to a cell subset.
+
+    Nets keep only their pins inside the subset and survive with >= 2 such
+    pins (outside pins are a free boundary — the same restriction
+    ``FMPartitioner.__init__`` builds cell by cell with Python sets).
+    Cells are renumbered ``0..n-1`` in ascending global order.
+    """
+
+    __slots__ = ("cells", "net_ptr", "net_cells", "pin_net", "areas")
+
+    def __init__(self, cells, net_ptr, net_cells, pin_net, areas) -> None:
+        self.cells = cells  # (n,) int64, sorted global cell ids
+        self.net_ptr = net_ptr  # (m + 1,) int64 segment pointers
+        self.net_cells = net_cells  # flat local member ids, net-major
+        self.pin_net = pin_net  # local net id owning each net_cells slot
+        self.areas = areas  # (n,) float64 cell areas
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_ptr) - 1
+
+    @classmethod
+    def from_netlist(
+        cls, netlist: Netlist, cells: Optional[Sequence[int]] = None
+    ) -> "SubsetCSR":
+        """Build the restriction of ``netlist`` to ``cells`` (default: all)."""
+        arrays = netlist.arrays
+        if cells is None:
+            subset = np.arange(arrays.num_cells, dtype=np.int64)
+        else:
+            subset = np.unique(np.fromiter(cells, dtype=np.int64))
+        in_subset = np.zeros(arrays.num_cells, dtype=bool)
+        in_subset[subset] = True
+        local_of = np.full(arrays.num_cells, -1, dtype=np.int64)
+        local_of[subset] = np.arange(len(subset), dtype=np.int64)
+        return cls._restrict(
+            subset,
+            arrays.areas[subset],
+            in_subset[arrays.net_cells],
+            arrays.net_cells,
+            arrays.pin_net,
+            arrays.num_nets,
+            local_of,
+        )
+
+    def restrict(self, member_mask: np.ndarray) -> "SubsetCSR":
+        """The sub-restriction to the local cells where ``member_mask`` is True.
+
+        Equivalent to ``SubsetCSR.from_netlist(netlist, kept_globals)`` —
+        a net with >= 2 pins in the child necessarily has >= 2 pins here —
+        but costs one vectorized pass over this subset's pins only.
+        """
+        kept = np.flatnonzero(member_mask)
+        local_of = np.full(self.num_cells, -1, dtype=np.int64)
+        local_of[kept] = np.arange(len(kept), dtype=np.int64)
+        return type(self)._restrict(
+            self.cells[kept],
+            self.areas[kept],
+            member_mask[self.net_cells],
+            self.net_cells,
+            self.pin_net,
+            self.num_nets,
+            local_of,
+        )
+
+    @classmethod
+    def _restrict(cls, cells, areas, pin_in, net_cells, pin_net, num_nets, local_of):
+        counts = np.bincount(pin_net[pin_in], minlength=num_nets)
+        keep_net = counts >= 2
+        keep_pin = pin_in & keep_net[pin_net]
+        kept_counts = counts[keep_net]
+        net_ptr = np.zeros(len(kept_counts) + 1, dtype=np.int64)
+        np.cumsum(kept_counts, out=net_ptr[1:])
+        new_pin_net = np.repeat(
+            np.arange(len(kept_counts), dtype=np.int64), kept_counts
+        )
+        return cls(
+            cells=cells,
+            net_ptr=net_ptr,
+            net_cells=local_of[net_cells[keep_pin]],
+            pin_net=new_pin_net,
+            areas=areas,
+        )
+
+    def member_mask(self, global_cells: Sequence[int]) -> np.ndarray:
+        """Local boolean mask of the global cell ids given.
+
+        Raises :class:`~repro.errors.ReproError` when an id is not a member
+        of this subset.
+        """
+        wanted = np.asarray(global_cells, dtype=np.int64)
+        local = np.searchsorted(self.cells, wanted)
+        found = self.cells[np.minimum(local, self.num_cells - 1)]
+        valid = (local < self.num_cells) & (found == wanted)
+        if not valid.all():
+            missing = wanted[~valid]
+            raise ReproError(f"cells not in subset: {missing[:5].tolist()}")
+        mask = np.zeros(self.num_cells, dtype=bool)
+        mask[local] = True
+        return mask
+
+
+class ArrayFMPartitioner:
+    """Flat-array FM bisection; API-compatible with
+    :class:`~repro.partition.fm.FMPartitioner` and bit-identical to it in
+    every observable (move sequences, sides, cut, passes)."""
+
+    #: Compact the gain heap when it exceeds this size and holds mostly
+    #: superseded entries (same policy as the detection kernel).
+    _COMPACT_THRESHOLD = 8192
+
+    def __init__(
+        self,
+        netlist: Optional[Netlist] = None,
+        cells: Optional[Sequence[int]] = None,
+        balance_tolerance: float = 0.1,
+        rng: RngLike = 0,
+        subset: Optional[SubsetCSR] = None,
+    ) -> None:
+        if not 0 <= balance_tolerance < 1:
+            raise ReproError("balance_tolerance must be in [0, 1)")
+        if subset is None:
+            if netlist is None:
+                raise ReproError("ArrayFMPartitioner needs a netlist or a subset")
+            subset = SubsetCSR.from_netlist(netlist, cells)
+        if subset.num_cells < 2:
+            raise ReproError("FM needs at least two cells")
+        self._subset = subset
+        self._tolerance = balance_tolerance
+        self._rng = ensure_rng(rng)
+
+        self._cells: List[int] = subset.cells.tolist()
+        self._areas: List[float] = subset.areas.tolist()
+        # Python sums in ascending-cell order: the reference's exact float
+        # accumulation (it sums a dict built in sorted-cell order).
+        self._total_area = sum(self._areas)
+        self._max_area = max(self._areas)
+        self._min_area = min(self._areas)
+        self._local_of: Dict[int, int] = {
+            cell: index for index, cell in enumerate(self._cells)
+        }
+        # Flat hot-loop state (see the module docstring for why lists).
+        self._net_ptr: List[int] = subset.net_ptr.tolist()
+        self._net_members: List[int] = subset.net_cells.tolist()
+        self._net_degrees = np.diff(subset.net_ptr)
+        cell_degrees = np.bincount(subset.net_cells, minlength=subset.num_cells)
+        cell_ptr = np.zeros(subset.num_cells + 1, dtype=np.int64)
+        np.cumsum(cell_degrees, out=cell_ptr[1:])
+        order = np.argsort(subset.net_cells, kind="stable")
+        self._cell_ptr: List[int] = cell_ptr.tolist()
+        self._cell_nets: List[int] = subset.pin_net[order].tolist()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial: Optional[Dict[int, int]] = None,
+        max_passes: int = 12,
+    ) -> PartitionResult:
+        """Run FM passes until convergence; returns the best partition."""
+        extra: Dict[int, int] = {}
+        if initial:  # truthiness, as the reference: {} means a random start
+            sides_map = dict(initial)
+            # The reference passes unknown keys through untouched.
+            extra = {
+                cell: side
+                for cell, side in sides_map.items()
+                if cell not in self._local_of
+            }
+        else:
+            area_of = dict(zip(self._cells, self._areas))
+            sides_map = random_balanced_start(
+                self._cells,
+                area_of,
+                self._total_area,
+                self._max_area,
+                self._tolerance,
+                self._rng,
+            )
+        side: List[int] = [0] * len(self._cells)
+        for index, cell in enumerate(self._cells):
+            if cell not in sides_map:
+                raise ReproError(f"initial partition misses cell {cell}")
+            side[index] = 1 if sides_map[cell] else 0
+
+        passes = 0
+        best_cut = self._cut(side)
+        best_side = list(side)
+        improved = True
+        while improved and passes < max_passes:
+            passes += 1
+            side, pass_cut = self._one_pass(side)
+            improved = pass_cut < best_cut
+            if improved:
+                best_cut = pass_cut
+                best_side = list(side)
+        sides = dict(extra)
+        for index, cell in enumerate(self._cells):
+            sides[cell] = best_side[index]
+        return PartitionResult(sides=sides, cut=best_cut, passes=passes)
+
+    # ------------------------------------------------------------------
+    def _side_counts(self, side: List[int]) -> np.ndarray:
+        """Per-net side-0 pin counts (one bincount over the restricted pins)."""
+        subset = self._subset
+        member_sides = np.asarray(side, dtype=np.int64)[subset.net_cells]
+        return np.bincount(
+            subset.pin_net[member_sides == 0], minlength=subset.num_nets
+        )
+
+    def _cut(self, side: List[int]) -> int:
+        counts0 = self._side_counts(side)
+        return int(np.count_nonzero((counts0 > 0) & (counts0 < self._net_degrees)))
+
+    def _initial_gains(self, side: List[int], counts0: np.ndarray) -> List[int]:
+        """Vectorized FM gains: +1 per critical own-side net, -1 per net the
+        move would newly cut."""
+        subset = self._subset
+        counts1 = self._net_degrees - counts0
+        pin_side = np.asarray(side, dtype=np.int64)[subset.net_cells]
+        own = np.where(pin_side == 0, counts0[subset.pin_net], counts1[subset.pin_net])
+        other = np.where(
+            pin_side == 0, counts1[subset.pin_net], counts0[subset.pin_net]
+        )
+        contrib = (own == 1).astype(np.int64) - (other == 0)
+        gains = np.bincount(
+            subset.net_cells, weights=contrib, minlength=subset.num_cells
+        )
+        return gains.astype(np.int64).tolist()
+
+    def _one_pass(self, side: List[int]):
+        side = list(side)
+        n = len(side)
+        counts0_arr = self._side_counts(side)
+        gain = self._initial_gains(side, counts0_arr)
+        counts = [counts0_arr.tolist(), (self._net_degrees - counts0_arr).tolist()]
+        current_cut = int(
+            np.count_nonzero((counts0_arr > 0) & (counts0_arr < self._net_degrees))
+        )
+
+        # One gain heap per side: a live entry sits in the heap of its
+        # cell's current side (a moved cell is locked, so side membership
+        # never goes stale for live entries).  Split heaps let a move skip
+        # a side that the balance constraint blocks wholesale — the common
+        # end-of-pass regime where the reference rescans every free cell of
+        # the light side on every single move.
+        heap0: List[tuple] = []
+        heap1: List[tuple] = []
+        for cell in range(n):
+            (heap1 if side[cell] else heap0).append((-gain[cell], cell))
+        heapify(heap0)
+        heapify(heap1)
+        heaps = (heap0, heap1)
+
+        areas = self._areas
+        area0 = 0.0
+        for cell in range(n):
+            if side[cell] == 0:
+                area0 += areas[cell]
+
+        # Hoisted balance constants: the reference recomputes these per
+        # probe but they are pass-invariant floats.
+        half = self._total_area / 2
+        slack = max(self._tolerance * self._total_area, self._max_area)
+        min_area = self._min_area
+        max_area = self._max_area
+
+        locked = bytearray(n)
+        sequence: List[int] = []
+        cut_trace: List[int] = []
+        deferred: List[tuple] = []
+        net_ptr = self._net_ptr
+        net_members = self._net_members
+        cell_ptr = self._cell_ptr
+        cell_nets = self._cell_nets
+        push = heappush
+        pop = heappop
+        compact_watermark = self._COMPACT_THRESHOLD
+
+        for _ in range(n):
+            # Side viability: the balance predicate is monotone in the
+            # moving area, so the exact predicate evaluated at the extreme
+            # areas (identical float expressions to the per-candidate
+            # check) decides whether ANY cell of a side could pass.  A
+            # blocked side is skipped without popping; its cells could
+            # never be chosen this move.
+            open0 = not (
+                (area0 - min_area) - half < -slack
+                or (area0 - max_area) - half > slack
+            )
+            open1 = not (
+                (area0 + max_area) - half < -slack
+                or (area0 + min_area) - half > slack
+            )
+
+            # Selection: merge-pop the side heaps in (gain desc, cell asc)
+            # order; skip stale entries by value; hold balance-failing
+            # candidates aside and re-push them after the move — exactly
+            # the reference's bucket scan.
+            chosen = -1
+            best0 = best1 = None
+            while True:
+                if best0 is None and open0:
+                    while heap0:
+                        entry = pop(heap0)
+                        cell = entry[1]
+                        if not locked[cell] and -entry[0] == gain[cell]:
+                            best0 = entry
+                            break
+                if best1 is None and open1:
+                    while heap1:
+                        entry = pop(heap1)
+                        cell = entry[1]
+                        if not locked[cell] and -entry[0] == gain[cell]:
+                            best1 = entry
+                            break
+                if best0 is None and best1 is None:
+                    break
+                if best1 is None or (best0 is not None and best0 < best1):
+                    entry, from_heap, best0 = best0, 0, None
+                else:
+                    entry, from_heap, best1 = best1, 1, None
+                cell = entry[1]
+                moving = areas[cell]
+                new_area0 = area0 - moving if from_heap == 0 else area0 + moving
+                if abs(new_area0 - half) <= slack:
+                    chosen = cell
+                    break
+                deferred.append((entry, from_heap))
+            if best0 is not None:
+                push(heap0, best0)
+            if best1 is not None:
+                push(heap1, best1)
+            if deferred:
+                for entry, from_heap in deferred:
+                    push(heaps[from_heap], entry)
+                deferred.clear()
+            if chosen < 0:
+                break
+
+            from_side = side[chosen]
+            to_side = 1 - from_side
+            locked[chosen] = 1
+            current_cut -= gain[chosen]
+            sequence.append(chosen)
+            cut_trace.append(current_cut)
+
+            counts_from = counts[from_side]
+            counts_to = counts[to_side]
+            heap_from = heaps[from_side]
+            heap_to = heaps[to_side]
+            # Standard FM gain updates on critical nets (identical branch
+            # structure to the reference; integer gains make the member
+            # iteration order irrelevant to the result).  Updated entries
+            # are pushed onto the heap of the cell's current side.
+            for net in cell_nets[cell_ptr[chosen] : cell_ptr[chosen + 1]]:
+                count_to = counts_to[net]
+                count_from = counts_from[net]
+                counts_from[net] = count_from - 1
+                counts_to[net] = count_to + 1
+                if count_to > 1 and count_from > 2:
+                    # No critical transition: gains are unaffected, so the
+                    # member slice is never needed (the reference iterates
+                    # the members here too, but its loop bodies no-op).
+                    continue
+                members = net_members[net_ptr[net] : net_ptr[net + 1]]
+                if count_to == 0:
+                    for other in members:
+                        if other != chosen and not locked[other]:
+                            updated = gain[other] + 1
+                            gain[other] = updated
+                            push(heap1 if side[other] else heap0, (-updated, other))
+                elif count_to == 1:
+                    for other in members:
+                        if (
+                            other != chosen
+                            and not locked[other]
+                            and side[other] == to_side
+                        ):
+                            updated = gain[other] - 1
+                            gain[other] = updated
+                            push(heap_to, (-updated, other))
+                remaining = count_from - 1
+                if remaining == 0:
+                    for other in members:
+                        if other != chosen and not locked[other]:
+                            updated = gain[other] - 1
+                            gain[other] = updated
+                            push(heap1 if side[other] else heap0, (-updated, other))
+                elif remaining == 1:
+                    for other in members:
+                        if (
+                            other != chosen
+                            and not locked[other]
+                            and side[other] == from_side
+                        ):
+                            updated = gain[other] + 1
+                            gain[other] = updated
+                            push(heap_from, (-updated, other))
+
+            side[chosen] = to_side
+            area0 += areas[chosen] if to_side == 0 else -areas[chosen]
+
+            if len(heap0) + len(heap1) > compact_watermark:
+                free = n - len(sequence)
+                if len(heap0) + len(heap1) > 4 * free:
+                    for heap in heaps:
+                        heap[:] = [
+                            entry
+                            for entry in heap
+                            if not locked[entry[1]] and -entry[0] == gain[entry[1]]
+                        ]
+                        heapify(heap)
+                    compact_watermark = max(
+                        self._COMPACT_THRESHOLD, 2 * (len(heap0) + len(heap1))
+                    )
+
+        if not cut_trace:
+            # No move fit the balance constraint; counts are untouched so
+            # current_cut is the reference's recount.
+            return side, current_cut
+
+        best_index = min(range(len(cut_trace)), key=cut_trace.__getitem__)
+        for cell in sequence[best_index + 1 :]:
+            side[cell] = 1 - side[cell]
+        return side, cut_trace[best_index]
+
+
+__all__ = ["ArrayFMPartitioner", "SubsetCSR"]

@@ -94,8 +94,17 @@ def legalize_rows(
                 w = width_arr[sub[k]] * scale
                 lefts[k] = min(lefts[k], cursor - w)
                 cursor = lefts[k]
+            # Rounding in the scaled widths can overfill the row by a few
+            # ulp, so the pull-back may drive the packed prefix past the
+            # left die edge.  Clamping each cell at 0 individually would
+            # reintroduce exactly the overlaps the pull-back resolved;
+            # shifting the whole row right preserves every gap (lefts is
+            # non-decreasing after the pull-back, so lefts[0] is the
+            # leftmost edge).
+            if lefts[0] < 0.0:
+                lefts -= lefts[0]
         for k, cell in enumerate(sub):
             w = width_arr[cell] * scale
-            x[cell] = max(0.0, lefts[k]) + w / 2.0
+            x[cell] = lefts[k] + w / 2.0
         y[sub] = (r + 0.5) * row_pitch
     return x, y

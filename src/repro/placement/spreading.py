@@ -18,6 +18,11 @@ import numpy as np
 from repro.errors import PlacementError
 from repro.placement.region import Die
 
+#: Quadtree depth cap for :func:`relieve_density`.  Regions halve per
+#: level, so 64 levels shrink any die below float resolution — only a
+#: coincident-coordinate clump descends that far.
+_MAX_QUADTREE_DEPTH = 64
+
 
 def spread_cells(
     x: np.ndarray,
@@ -85,10 +90,15 @@ def _spread(
     split = int(np.searchsorted(cumulative, total / 2.0)) + 1
     split = max(1, min(split, order.size - 1))
     left, right = order[:split], order[split:]
-    fraction = cumulative[split - 1] / total
-
-    # Guard against degenerate slivers.
-    fraction = min(max(fraction, 0.05), 0.95)
+    # The geometric split tracks the area split exactly, so each side's
+    # region is proportional to the area it holds (the invariant that
+    # makes spreading area-preserving).  The old hard [0.05, 0.95] clamp
+    # detached the two on skewed distributions — a side holding 2% of the
+    # area was handed 5% of the region while the split index provably
+    # cannot move (the crossing cell's cumulative jump spans the clamp
+    # band); only a literal zero-width region needs guarding against.
+    fraction = float(cumulative[split - 1] / total)
+    fraction = min(max(fraction, 1e-6), 1.0 - 1e-6)
 
     if split_horizontally:
         xm = x0 + fraction * width
@@ -134,7 +144,11 @@ def relieve_density(
     if not 0 < max_utilization <= 1:
         raise PlacementError("max_utilization must be in (0, 1]")
 
-    def recurse(cells: np.ndarray, region: Tuple[float, float, float, float]) -> bool:
+    def recurse(
+        cells: np.ndarray,
+        region: Tuple[float, float, float, float],
+        depth: int = 0,
+    ) -> bool:
         """Returns True when the subtree still contains unresolved overfill."""
         x0, y0, x1, y1 = region
         region_area = (x1 - x0) * (y1 - y0)
@@ -142,7 +156,12 @@ def relieve_density(
             return False
         utilization = area_arr[cells].sum() / region_area
 
-        if cells.size <= min_cells:
+        if cells.size <= min_cells or depth >= _MAX_QUADTREE_DEPTH:
+            # Depth guard: a clump of coincident coordinates never
+            # separates by quartering — every level keeps all its cells in
+            # one quadrant until the recursion limit blows.  Report the
+            # overfill instead, so the lowest enclosing node with room
+            # spreads the clump apart.
             return utilization > max_utilization
 
         xm, ym = (x0 + x1) / 2.0, (y0 + y1) / 2.0
@@ -156,7 +175,7 @@ def relieve_density(
         )
         unresolved = False
         for sub_cells, sub_region in quadrants:
-            if recurse(sub_cells, sub_region):
+            if recurse(sub_cells, sub_region, depth + 1):
                 unresolved = True
         if not unresolved and utilization <= max_utilization:
             return False

@@ -38,8 +38,24 @@ logger = logging.getLogger(__name__)
 #: (e.g. a codec rewrite) so every previously persisted row reads as a miss
 #: and is recomputed under the new scheme instead of being mis-decoded.
 #: Version 1 was the PR-1 report-only store; version 2 added generic
-#: artifact kinds.
+#: artifact kinds.  When bumping, skip past ``SCHEMA_VERSION +
+#: max(KIND_REVISIONS.values())`` so no old kind-revised row can collide.
 SCHEMA_VERSION = 2
+
+#: Per-kind schema revisions layered on :data:`SCHEMA_VERSION`.  Bump a
+#: kind's revision when an algorithm fix changes that artifact for
+#: identical inputs, so only that kind's cached rows read as misses while
+#: unaffected kinds (e.g. expensive detection reports) stay warm.
+#: ``partition``/``placement``/``congestion`` were bumped by the PR-5
+#: bugfixes (FM start balance, spreading split consistency, legalizer
+#: overlap) — congestion derives from placement.
+KIND_REVISIONS = {"partition": 1, "placement": 1, "congestion": 1}
+
+
+def row_schema_version(kind: str) -> int:
+    """The schema version stamped on (and expected of) rows of ``kind``."""
+    return SCHEMA_VERSION + KIND_REVISIONS.get(kind, 0)
+
 
 #: ``kind`` tag of detection-report rows (the PR-1 payloads).
 KIND_FINDER_REPORT = "finder_report"
@@ -140,8 +156,8 @@ class ResultStore:
     ) -> Optional[Dict[str, Any]]:
         """Stored payload dict for ``fingerprint``, or ``None`` (a miss).
 
-        A row whose ``schema_version`` differs from the current
-        :data:`SCHEMA_VERSION`, whose ``kind`` does not match ``kind``
+        A row whose ``schema_version`` differs from its kind's current
+        :func:`row_schema_version`, whose ``kind`` does not match ``kind``
         (when given), or whose payload is not valid JSON is evicted and
         reported as a miss so the caller recomputes and rewrites it.
         """
@@ -157,7 +173,9 @@ class ResultStore:
             return None
         payload_text, row_kind, row_version = row
         data: Optional[Dict[str, Any]] = None
-        if row_version == SCHEMA_VERSION and (kind is None or row_kind == kind):
+        if row_version == row_schema_version(row_kind) and (
+            kind is None or row_kind == kind
+        ):
             try:
                 data = json.loads(payload_text)
             except json.JSONDecodeError:
@@ -213,7 +231,7 @@ class ResultStore:
                     num_items,
                     runtime_seconds,
                     kind,
-                    SCHEMA_VERSION,
+                    row_schema_version(kind),
                 ),
             )
             self._conn.commit()

@@ -224,6 +224,33 @@ def test_store_schema_version_mismatch_is_a_miss(small, tmp_path):
         assert row[0] == SCHEMA_VERSION
 
 
+def test_store_kind_revision_invalidates_only_that_kind(small, tmp_path):
+    """Pre-revision partition rows (written before the PR-5 FM-start fix
+    changed partition outputs) read as misses, while detection rows at the
+    same base version stay warm."""
+    from repro.flow.stages import PartitionStage
+    from repro.service.store import row_schema_version
+
+    netlist, _ = small
+    flow = Flow([DetectStage(CFG), PartitionStage(seed=1)])
+    with ResultStore(str(tmp_path)) as store:
+        flow.run(netlist, store=store)
+        assert row_schema_version("partition") == SCHEMA_VERSION + 1
+        # Emulate a row persisted by the pre-fix release (base version).
+        store._conn.execute(
+            "UPDATE results SET schema_version = ? WHERE kind = 'partition'",
+            (SCHEMA_VERSION,),
+        )
+        store._conn.commit()
+        result = flow.run(netlist, store=store)
+        assert result["detect"].cached  # unaffected kind stays warm
+        assert not result["partition"].cached  # stale pre-fix row evicted
+        row = store._conn.execute(
+            "SELECT schema_version FROM results WHERE kind = 'partition'"
+        ).fetchone()
+        assert row[0] == row_schema_version("partition")
+
+
 def test_store_kind_collision_is_a_miss(small, tmp_path):
     netlist, _ = small
     with ResultStore(str(tmp_path)) as store:

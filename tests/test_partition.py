@@ -150,6 +150,64 @@ def test_property_fm_never_worsens_random_start(seed):
     assert result.cut <= start_cut
 
 
+class _CountingAreas(dict):
+    """Dict that counts ``values()`` calls (the O(n) scan in question)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.values_calls = 0
+
+    def values(self):
+        self.values_calls += 1
+        return super().values()
+
+
+def test_balance_check_does_not_rescan_areas():
+    """Regression: ``_balance_ok`` recomputed ``max(self._areas.values())``
+    on every candidate probe — O(n) per probe, quadratic per pass.  The max
+    is hoisted to ``__init__``; after construction no balance probe may
+    scan the areas again."""
+    rng = random.Random(0)
+    builder = NetlistBuilder()
+    cells = builder.add_cells(120)
+    for i in range(300):
+        builder.add_net(f"n{i}", rng.sample(cells, rng.randint(2, 4)))
+    netlist = builder.build()
+
+    partitioner = FMPartitioner(netlist, rng=1)
+    counting = _CountingAreas(partitioner._areas)
+    partitioner._areas = counting
+    result = partitioner.run()
+    assert result.cut >= 0  # the run completed
+    assert counting.values_calls == 0
+
+
+def test_random_balanced_start_handles_large_crossing_cell():
+    """Regression: the cell crossing the half-area mark always landed on
+    side 0, overshooting by up to its full area; a large crossing cell
+    could leave the start beyond the balance tolerance.  It now goes to
+    whichever side leaves side 0 closer to half, bounding the start
+    imbalance by ``max_area / 2`` (or the tolerance slack if larger)."""
+    builder = NetlistBuilder()
+    big = builder.add_cell("big", area=10.0)
+    smalls = [builder.add_cell(f"s{i}") for i in range(6)]
+    for i, cell in enumerate(smalls):
+        builder.add_net(f"n{i}", [big, cell])
+    netlist = builder.build()
+
+    total = 16.0
+    bound = max(0.1 * total, 10.0 / 2)
+    for seed in range(40):
+        partitioner = FMPartitioner(netlist, rng=seed)
+        start = partitioner._random_balanced_start()
+        assert set(start) == set(range(netlist.num_cells))
+        assert set(start.values()) <= {0, 1}
+        area0 = sum(
+            netlist.cell_area(c) for c in range(netlist.num_cells) if start[c] == 0
+        )
+        assert abs(area0 - total / 2) <= bound, f"seed {seed}: area0={area0}"
+
+
 # ---------------------------------------------------------------- bisection
 def test_recursive_bisection_covers_all(small_planted):
     netlist, _ = small_planted

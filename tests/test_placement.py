@@ -197,6 +197,61 @@ def test_spread_preserves_relative_order():
     assert list(np.argsort(sx)) == [0, 1, 2, 3]
 
 
+def test_spread_split_matches_area_split_on_skewed_areas():
+    """Regression: the [0.05, 0.95] sliver clamp detached the geometric
+    split from the area split — two cells holding 2% of the area were
+    handed 5% of the region (the split index provably cannot move, so
+    consistency requires the geometry to follow the area)."""
+    # Coordinate order: two tiny cells, then one dominant cell.
+    x = np.array([1.0, 2.0, 9.0])
+    y = np.full(3, 5.0)
+    areas = np.array([0.01, 0.01, 0.98])
+    die = Die(10, 10)
+    sx, _ = spread_cells(x, y, areas, die, leaf_cells=1)
+    # Left block (2% of area) gets exactly 2% of the width, [0, 0.2]; the
+    # tall thin region then splits vertically, centering both tiny cells
+    # at x = 0.1.  The big cell is centered in [0.2, 10].  (The old clamp
+    # handed the left block [0, 0.5] instead.)
+    assert sx[0] == pytest.approx(0.1, abs=1e-9)
+    assert sx[1] == pytest.approx(0.1, abs=1e-9)
+    assert sx[2] == pytest.approx((0.2 + 10.0) / 2.0, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=1e-3, max_value=1e3),
+    st.floats(min_value=1e-3, max_value=1e3),
+)
+def test_property_two_cell_split_fraction_equals_area_fraction(a0, a1):
+    """For a single split, the region boundary sits exactly at the area
+    fraction — for any skew, including beyond the old clamp band."""
+    x = np.array([2.0, 8.0])
+    y = np.full(2, 5.0)
+    die = Die(10.0, 10.0)
+    sx, _ = spread_cells(x, y, np.array([a0, a1]), die, leaf_cells=1)
+    fraction = min(max(a0 / (a0 + a1), 1e-6), 1.0 - 1e-6)
+    assert sx[0] == pytest.approx(fraction * 10.0 / 2.0, rel=1e-9)
+    assert sx[1] == pytest.approx((fraction + 1.0) * 10.0 / 2.0, rel=1e-9)
+
+
+def test_relieve_density_coincident_clump_terminates():
+    """Regression: a clump of coincident coordinates descends the quadtree
+    forever (every level keeps all cells in one quadrant) and blew the
+    recursion limit; the depth guard reports the overfill instead and the
+    lowest enclosing node spreads the clump."""
+    from repro.placement import relieve_density
+
+    n = 30
+    x = np.full(n, 5.0)
+    y = np.full(n, 5.0)
+    die = Die(10, 10)
+    sx, sy = relieve_density(x, y, np.ones(n), die, max_utilization=0.5, min_cells=8)
+    # The clump actually separated.
+    assert float(np.std(sx)) > 0.5
+    coords = set(zip(sx.round(9), sy.round(9)))
+    assert len(coords) > n // 2
+
+
 # ---------------------------------------------------------------- fillers
 def test_make_fillers_tile_whitespace():
     die = Die(10, 10)
@@ -267,6 +322,34 @@ def test_legalize_rows_keeps_cells_in_die():
     lx, ly = legalize_rows(x, y, np.ones(n), die)
     assert np.all((0 <= lx) & (lx <= 50))
     assert np.all((0 <= ly) & (ly <= 50))
+
+
+def test_legalize_rows_overflow_pullback_stays_overlap_free():
+    """Regression: when an overfull row's right-edge pull-back drove the
+    packed prefix past the left die edge (rounding in the scaled widths
+    can overfill a row by a few ulp, amplified at large coordinates), the
+    per-cell ``max(0, left)`` clamp pushed the first cells back onto their
+    neighbors.  The row is now shifted right as a whole, preserving every
+    gap; the worst-case residual is one ulp of the die width per cell."""
+    capacity = 1e14
+    die = Die(capacity, 1.0)
+    tolerance = 16 * np.spacing(capacity)
+    for seed in (2, 5, 28, 29):
+        rng = np.random.default_rng(seed)
+        n = 50000
+        widths = rng.random(n) * (2.5 * capacity / n)  # overfull: scale < 1
+        x = capacity - rng.random(n) * capacity * 0.001  # piled at the right
+        y = np.full(n, 0.5)
+        lx, _ = legalize_rows(x, y, widths, die, num_rows=1)
+        scale = min(1.0, capacity / widths.sum())
+        w = widths * scale
+        order = np.argsort(lx, kind="stable")
+        lefts = lx[order] - w[order] / 2
+        rights = lx[order] + w[order] / 2
+        overlap = float(np.max(rights[:-1] - lefts[1:]))
+        assert overlap <= tolerance, f"seed {seed}: overlap {overlap}"
+        assert float(lefts.min()) >= -tolerance
+        assert float(rights.max()) <= capacity * (1 + 1e-12)
 
 
 def test_legalize_empty_movable():
