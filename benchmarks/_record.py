@@ -10,12 +10,18 @@ Schema::
 
     {
       "benchmark": "<name>",
-      "schema_version": 1,
+      "schema_version": 2,
       "created_unix": <float, seconds>,
       "python": "3.11.7",
       "smoke": false,
-      "results": {...benchmark-specific payload...}
+      "results": {...benchmark-specific payload...},
+      "run_report": {...optional repro.obs.RunReport.to_dict()...}
     }
+
+Schema version 2 adds the optional ``run_report`` key: benchmarks that
+run under tracing embed the per-phase span breakdown and kernel counters
+(see :mod:`repro.obs.report`) so the perf trajectory records *where* the
+time went, not just totals.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ from typing import Mapping, Optional
 #: Repository root (benchmarks/ lives directly under it).
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def record(
@@ -37,6 +43,7 @@ def record(
     results: Mapping,
     smoke: bool = False,
     path: Optional[Path] = None,
+    run_report: Optional[Mapping] = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` at the repo root and return its path.
 
@@ -47,6 +54,9 @@ def record(
             overwrites an existing full-scale record — the trajectory keeps
             real numbers even when smoke suites run afterwards.
         path: override the output path (tests).
+        run_report: optional ``repro.obs.RunReport.to_dict()`` payload from
+            a traced run — embeds the per-phase time breakdown and kernel
+            counters alongside the headline numbers.
     """
     out = path or (REPO_ROOT / f"BENCH_{name}.json")
     if smoke and out.exists():
@@ -63,5 +73,7 @@ def record(
         "smoke": smoke,
         "results": dict(results),
     }
+    if run_report is not None:
+        payload["run_report"] = dict(run_report)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return out

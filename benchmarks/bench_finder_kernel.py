@@ -42,6 +42,7 @@ from repro.finder.config import FinderConfig
 from repro.finder.finder import TangledLogicFinder
 from repro.generators.industrial import IndustrialSpec, generate_industrial
 from repro.netlist.backend import forced_backend
+from repro.obs import RunReport, trace
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
@@ -99,6 +100,50 @@ def _measure(netlist, config):
     }
 
 
+def _measure_tracing(netlist, config):
+    """Traced vs. untraced array run on the same design, back to back.
+
+    Returns the comparison row and the traced run's :class:`RunReport`.
+    The traced report must be bit-identical to the untraced one — the
+    obs layer observes, it never perturbs — and the traced run must stay
+    within 5% wall-clock at full scale (sub-second smoke runs get a
+    looser bound because fixed costs don't amortize).
+    """
+    with forced_backend("numpy"):
+        start = time.perf_counter()
+        untraced_report = TangledLogicFinder(netlist, config).run()
+        untraced_seconds = time.perf_counter() - start
+
+        trace.enable()
+        try:
+            start = time.perf_counter()
+            traced_report = TangledLogicFinder(netlist, config).run()
+            traced_seconds = time.perf_counter() - start
+            run_report = RunReport.from_tracer()
+        finally:
+            trace.disable()
+
+    _assert_reports_identical(untraced_report, traced_report)
+    if SMOKE:
+        assert traced_seconds <= untraced_seconds * 1.5 + 0.05
+    else:
+        assert traced_seconds <= untraced_seconds * 1.05
+    phases = {
+        name: round(row["total_s"], 4)
+        for name, row in run_report.phase_totals().items()
+        if name.startswith("finder.phase")
+    }
+    row = {
+        "cells": netlist.num_cells,
+        "untraced_s": round(untraced_seconds, 4),
+        "traced_s": round(traced_seconds, 4),
+        "overhead": round(traced_seconds / max(untraced_seconds, 1e-9), 4),
+        "phases_s": phases,
+        "counters": run_report.counters(),
+    }
+    return row, run_report
+
+
 def test_finder_kernel_scalar_vs_array():
     small_netlist, _ = generate_industrial(SMALL_SPEC, seed=5)
     big_netlist, _ = generate_industrial(BIG_SPEC, seed=5)
@@ -116,14 +161,27 @@ def test_finder_kernel_scalar_vs_array():
             big_netlist, FinderConfig(num_seeds=NUM_SEEDS, seed=1)
         ),
     }
-    path = record("finder_kernel", results, smoke=SMOKE)
+    tracing_row, run_report = _measure_tracing(
+        big_netlist, FinderConfig(num_seeds=NUM_SEEDS, seed=1)
+    )
+    results["industrial50k_tracing"] = tracing_row
+    path = record(
+        "finder_kernel", results, smoke=SMOKE, run_report=run_report.to_dict()
+    )
     print(f"\nwrote {path}")
     for name, row in results.items():
+        if "scalar_s" not in row:
+            continue
         print(
             f"{name}: {row['cells']} cells, scalar {row['scalar_s']}s, "
             f"array {row['array_s']}s, speedup {row['speedup']}x, "
             f"gtls {row['num_gtls']}"
         )
+    print(
+        f"tracing: untraced {tracing_row['untraced_s']}s, "
+        f"traced {tracing_row['traced_s']}s "
+        f"({tracing_row['overhead']}x), phases {tracing_row['phases_s']}"
+    )
 
     if not SMOKE:
         # Acceptance: >= 50K cells and >= 5x on the exact-weight kernel,

@@ -23,6 +23,8 @@ Examples::
     tangled-logic batch jobs.json --workers 4 --cache-dir .repro-cache
     tangled-logic sweep sweep.json --jsonl points.jsonl
     tangled-logic flow run flow.json --cache-dir .repro-cache --workers 4
+    tangled-logic flow run flow.json --trace trace.jsonl --profile
+    tangled-logic --log-level info batch jobs.json
 
 Batch manifest (JSON; design paths are relative to the manifest)::
 
@@ -174,6 +176,57 @@ def _open_store(args: argparse.Namespace):
     return ResultStore(args.cache_dir or ".repro-cache")
 
 
+class _ObsSession:
+    """Tracing lifecycle of one CLI command (``--trace`` / ``--profile``).
+
+    Enables the global tracer around the command's work, wraps it in a root
+    span, then renders the collected :class:`~repro.obs.report.RunReport`
+    (trace-file note, profile tree) after the command's own output.
+    """
+
+    def __init__(self, args: argparse.Namespace, root: str) -> None:
+        self.trace_path = getattr(args, "trace", "") or ""
+        self.profile = bool(getattr(args, "profile", False))
+        self.root = root
+        self.report = None
+        self._span = None
+
+    @property
+    def active(self) -> bool:
+        return bool(self.trace_path or self.profile)
+
+    def __enter__(self) -> "_ObsSession":
+        if self.active:
+            from repro.obs import trace
+
+            trace.enable(jsonl_path=self.trace_path or None)
+            self._span = trace.span(self.root)
+            self._span.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.active:
+            from repro.obs import trace
+            from repro.obs.report import RunReport
+
+            self._span.__exit__(exc_type, exc, tb)
+            self.report = RunReport.from_tracer()
+            trace.disable()
+        return False
+
+    def emit(self) -> None:
+        """Print the run-report epilogue (after the command's own output)."""
+        if self.report is None:
+            return
+        if self.trace_path:
+            print(
+                f"trace: wrote {len(self.report.spans)} span(s) "
+                f"to {self.trace_path}"
+            )
+        if self.profile:
+            print(self.report.summary())
+
+
 def _report_row(label, result):
     report = result.report
     if report is None:
@@ -204,8 +257,9 @@ def _run_service_command(args: argparse.Namespace, execute) -> int:
     from repro.utils.tables import format_table
 
     store = _open_store(args)
+    obs = _ObsSession(args, f"cli.{args.command}")
     try:
-        with _make_runner(args, store) as runner:
+        with obs, _make_runner(args, store) as runner:
             headers, rows, summary_line, jsonl_rows, results = execute(runner)
     finally:
         cache_line = store.stats.summary() if store else "cache disabled"
@@ -215,6 +269,7 @@ def _run_service_command(args: argparse.Namespace, execute) -> int:
     print(format_table(headers, rows))
     print(summary_line)
     print(f"cache: {cache_line}")
+    obs.emit()
     if args.jsonl:
         written = write_jsonl(args.jsonl, jsonl_rows)
         print(f"wrote {written} row(s) to {args.jsonl}")
@@ -352,34 +407,36 @@ def _cmd_flow_run(args: argparse.Namespace) -> int:
 
     store = _open_store(args)
     pool = WorkerPool(args.workers) if args.workers > 1 else None
+    obs = _ObsSession(args, "cli.flow-run")
     headers = ["design", "stage", "kind", "cache", "time", "summary"]
     rows = []
     jsonl_rows = []
     try:
-        for path in manifest.designs:
-            netlist = _load_design(path)
-            label = os.path.basename(path)
+        with obs:
+            for path in manifest.designs:
+                netlist = _load_design(path)
+                label = os.path.basename(path)
 
-            def _progress(result) -> None:
-                print(
-                    f"[{label}] {result.stage}: {result.cache_label} "
-                    f"({result.runtime_seconds:.2f}s)",
-                    file=sys.stderr,
-                )
+                def _progress(result) -> None:
+                    print(
+                        f"[{label}] {result.stage}: {result.cache_label} "
+                        f"({result.runtime_seconds:.2f}s)",
+                        file=sys.stderr,
+                    )
 
-            outcome = manifest.flow.run(
-                netlist,
-                store=store,
-                use_cache=not args.no_cache,
-                pool=pool,
-                progress=None if args.quiet else _progress,
-            )
-            for result in outcome.results:
-                rows.append(
-                    [label, result.stage, result.kind, result.cache_label,
-                     f"{result.runtime_seconds:.2f}s", result.metadata_summary()]
+                outcome = manifest.flow.run(
+                    netlist,
+                    store=store,
+                    use_cache=not args.no_cache,
+                    pool=pool,
+                    progress=None if args.quiet else _progress,
                 )
-                jsonl_rows.append({"design": label, **result.to_row()})
+                for result in outcome.results:
+                    rows.append(
+                        [label, result.stage, result.kind, result.cache_label,
+                         f"{result.runtime_seconds:.2f}s", result.metadata_summary()]
+                    )
+                    jsonl_rows.append({"design": label, **result.to_row()})
     finally:
         cache_line = store.stats.summary() if store else "cache disabled"
         if store:
@@ -389,6 +446,7 @@ def _cmd_flow_run(args: argparse.Namespace) -> int:
 
     print(format_table(headers, rows))
     print(f"cache: {cache_line}")
+    obs.emit()
     if args.jsonl:
         written = write_jsonl(args.jsonl, jsonl_rows)
         print(f"wrote {written} row(s) to {args.jsonl}")
@@ -424,12 +482,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by batch/sweep/flow-run."""
+    sub.add_argument("--trace", default="", metavar="PATH",
+                     help="write a JSONL span trace of the run here")
+    sub.add_argument("--profile", action="store_true",
+                     help="print a span/counter profile after the run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="tangled-logic",
         description="Detecting tangled logic structures in VLSI netlists "
         "(DAC 2010 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="logging level (DEBUG/INFO/WARNING/ERROR; also $REPRO_LOG_LEVEL)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -488,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
         svc.add_argument("--jsonl", default="", help="write per-job results here")
         svc.add_argument("--quiet", action="store_true",
                          help="suppress per-job progress on stderr")
+        _add_obs_args(svc)
         svc.set_defaults(func=func)
 
     flow = sub.add_parser("flow", help="declared multi-stage flows")
@@ -505,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
     flow_run.add_argument("--jsonl", default="", help="write per-stage results here")
     flow_run.add_argument("--quiet", action="store_true",
                           help="suppress per-stage progress on stderr")
+    _add_obs_args(flow_run)
     flow_run.set_defaults(func=_cmd_flow_run)
 
     stats = sub.add_parser("stats", help="profile a design file")
@@ -517,9 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    from repro.obs import configure_logging
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        configure_logging(args.log_level)
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

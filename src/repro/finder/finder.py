@@ -29,6 +29,7 @@ from repro.finder.refine import refine_candidate
 from repro.finder.result import GTL, FinderReport
 from repro.metrics.gtl_score import ScoreContext
 from repro.netlist.hypergraph import Netlist
+from repro.obs import trace
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Timer
 
@@ -55,49 +56,58 @@ def _process_seed(
 
     backend = resolve_backend()
     max_length = config.resolve_order_length(netlist.num_cells)
-    ordering = grow_linear_ordering(
-        netlist,
-        seed_cell,
-        max_length,
-        lambda_skip=config.lambda_skip,
-        exclude_fixed=config.exclude_fixed,
-        backend=backend,
-    )
-    candidate = extract_candidate(
-        netlist, ordering, config, seed=seed_cell, backend=backend
-    )
-    orderings_grown = 1
-    if candidate is None:
-        # Still recover the ordering's Rent estimate for the global average.
-        # NaN marks an ordering with no usable prefix so it is *excluded*
-        # from the average instead of dragging it toward the assumed 0.6;
-        # when every ordering is unusable the finder flags rent_fallback.
-        if backend == "numpy":
-            from repro.finder.candidate import ordering_curves_and_rent
-
-            _, rent = ordering_curves_and_rent(
-                netlist, ordering, config.rent_min_prefix, fallback=float("nan")
+    with trace.span("finder.seed", seed=seed_cell, backend=backend):
+        trace.counter("finder.seeds").add(1)
+        with trace.span("finder.phase1"):
+            ordering = grow_linear_ordering(
+                netlist,
+                seed_cell,
+                max_length,
+                lambda_skip=config.lambda_skip,
+                exclude_fixed=config.exclude_fixed,
+                backend=backend,
             )
-            return None, rent, orderings_grown
-        from repro.finder.candidate import scan_ordering
-        from repro.metrics.rent import estimate_rent_exponent_from_prefixes
+        orderings_grown = 1
+        with trace.span("finder.phase2"):
+            candidate = extract_candidate(
+                netlist, ordering, config, seed=seed_cell, backend=backend
+            )
+            if candidate is None:
+                # Still recover the ordering's Rent estimate for the global
+                # average.  NaN marks an ordering with no usable prefix so it
+                # is *excluded* from the average instead of dragging it toward
+                # the assumed 0.6; when every ordering is unusable the finder
+                # flags rent_fallback.
+                if backend == "numpy":
+                    from repro.finder.candidate import ordering_curves_and_rent
 
-        prefix_stats = scan_ordering(netlist, ordering, backend=backend)
-        rent = estimate_rent_exponent_from_prefixes(
-            prefix_stats, min_size=config.rent_min_prefix, fallback=float("nan")
-        )
-        return None, rent, orderings_grown
+                    _, rent = ordering_curves_and_rent(
+                        netlist, ordering, config.rent_min_prefix,
+                        fallback=float("nan"),
+                    )
+                    return None, rent, orderings_grown
+                from repro.finder.candidate import scan_ordering
+                from repro.metrics.rent import estimate_rent_exponent_from_prefixes
 
-    refined = refine_candidate(
-        netlist,
-        candidate,
-        config,
-        rent_exponent=candidate.rent_exponent,
-        rng=rng_seed,
-        backend=backend,
-    )
-    orderings_grown += config.refine_count
-    return refined, candidate.rent_exponent, orderings_grown
+                prefix_stats = scan_ordering(netlist, ordering, backend=backend)
+                rent = estimate_rent_exponent_from_prefixes(
+                    prefix_stats, min_size=config.rent_min_prefix,
+                    fallback=float("nan"),
+                )
+                return None, rent, orderings_grown
+        trace.counter("finder.candidates").add(1)
+
+        with trace.span("finder.phase3"):
+            refined = refine_candidate(
+                netlist,
+                candidate,
+                config,
+                rent_exponent=candidate.rent_exponent,
+                rng=rng_seed,
+                backend=backend,
+            )
+        orderings_grown += config.refine_count
+        return refined, candidate.rent_exponent, orderings_grown
 
 
 def _process_batch(
@@ -140,7 +150,9 @@ class TangledLogicFinder:
                 netlist is shipped to the workers only once).
         """
         config = self.config
-        with Timer() as timer:
+        with Timer() as timer, trace.span(
+            "finder.run", seeds=config.num_seeds
+        ):
             seed_cells = self._draw_seed_cells()
             rng = ensure_rng(config.seed)
             jobs = [(cell, rng.randrange(2**63)) for cell in seed_cells]
@@ -154,23 +166,24 @@ class TangledLogicFinder:
             else:
                 outcomes = _process_batch(self.netlist, config, jobs)
 
-            candidates = [c for c, _, _ in outcomes if c is not None]
-            rents = [p for _, p, _ in outcomes if math.isfinite(p)]
-            orderings = sum(n for _, _, n in outcomes)
-            rent_fallback = not rents
-            if rent_fallback:
-                global_rent = DEFAULT_RENT_EXPONENT
-                logger.warning(
-                    "no ordering yielded a usable Rent estimate; assuming "
-                    "default exponent p=%.2f",
-                    DEFAULT_RENT_EXPONENT,
-                )
-            else:
-                global_rent = sum(rents) / len(rents)
+            with trace.span("finder.reduce"):
+                candidates = [c for c, _, _ in outcomes if c is not None]
+                rents = [p for _, p, _ in outcomes if math.isfinite(p)]
+                orderings = sum(n for _, _, n in outcomes)
+                rent_fallback = not rents
+                if rent_fallback:
+                    global_rent = DEFAULT_RENT_EXPONENT
+                    logger.warning(
+                        "no ordering yielded a usable Rent estimate; assuming "
+                        "default exponent p=%.2f",
+                        DEFAULT_RENT_EXPONENT,
+                    )
+                else:
+                    global_rent = sum(rents) / len(rents)
 
-            rescored = [self._rescore(c, global_rent) for c in candidates]
-            kept = prune_overlapping(rescored, netlist=self.netlist)
-            gtls = tuple(self._to_gtl(c) for c in kept)
+                rescored = [self._rescore(c, global_rent) for c in candidates]
+                kept = prune_overlapping(rescored, netlist=self.netlist)
+                gtls = tuple(self._to_gtl(c) for c in kept)
 
         return FinderReport(
             gtls=gtls,

@@ -36,7 +36,7 @@ arrays.
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -135,6 +135,7 @@ class ArrayOrderingGrower:
         self._frontier_count = 0
         self._heap: List[tuple] = []
         self._counter = 0
+        self._compactions = 0
         self._ordering: List[int] = []
         self._absorb(seed)
 
@@ -219,6 +220,18 @@ class ArrayOrderingGrower:
         ]
         heapify(live)
         self._heap[:] = live  # in place: callers hold references to the list
+        self._compactions += 1
+
+    def telemetry(self) -> Dict[str, int]:
+        """Work counters of this grower (same keys as the scalar grower).
+
+        The heap counter advances by ``1 << _cell_bits`` per push, so the
+        lifetime push count falls out of a shift — no hot-loop cost.
+        """
+        return {
+            "heap_pushes": self._counter >> self._cell_bits,
+            "heap_compactions": self._compactions,
+        }
 
     # ------------------------------------------------------------------
     def _absorb(self, cell: int) -> None:

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.errors import FinderError
 from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Netlist
+from repro.obs import trace
 from repro.utils.lazyheap import LazyMaxHeap
 
 
@@ -104,6 +105,10 @@ class LinearOrderingGrower:
             if self.step() is None:
                 break
         return self.ordering
+
+    def telemetry(self) -> Dict[str, int]:
+        """Work counters of this grower (same keys as the array kernel)."""
+        return {"heap_pushes": self._heap.pushes, "heap_compactions": 0}
 
     # ------------------------------------------------------------------
     def _absorb(self, cell: int) -> None:
@@ -191,4 +196,10 @@ def grow_linear_ordering(
         exclude_fixed=exclude_fixed,
         backend=backend,
     )
-    return grower.grow(max_length)
+    ordering = grower.grow(max_length)
+    if trace.enabled():
+        trace.counter("finder.orderings").add(1)
+        trace.counter("finder.absorb_steps").add(len(ordering))
+        for name, value in grower.telemetry().items():
+            trace.counter(f"finder.{name}").add(value)
+    return ordering

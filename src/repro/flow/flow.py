@@ -22,6 +22,7 @@ from repro.errors import FlowError, ReproError, ServiceError
 from repro.flow.context import FlowContext
 from repro.flow.stage import Stage, StageResult
 from repro.netlist.hypergraph import Netlist
+from repro.obs import trace
 from repro.service.fingerprint import fingerprint_netlist, stage_fingerprint
 from repro.service.store import ResultStore
 from repro.utils.tables import format_table
@@ -139,8 +140,25 @@ class Flow:
         design_fingerprint = fingerprint_netlist(netlist)
         chain: List[str] = [design_fingerprint]
         chain_deterministic = True
-        results: List[StageResult] = []
 
+        with trace.span(
+            "flow.run", flow=self.name, design=design_fingerprint[:12]
+        ):
+            results = self._run_stages(
+                ctx, store, use_cache, progress, chain, chain_deterministic
+            )
+
+        return FlowResult(
+            name=self.name,
+            design_fingerprint=design_fingerprint,
+            results=tuple(results),
+        )
+
+    def _run_stages(
+        self, ctx, store, use_cache, progress, chain, chain_deterministic
+    ) -> List[StageResult]:
+        """The per-stage loop of :meth:`run` (one span per stage)."""
+        results: List[StageResult] = []
         for label, stage in zip(self.labels, self.stages):
             fingerprint = stage_fingerprint(
                 stage.name, stage.config_fingerprint(), chain
@@ -150,16 +168,22 @@ class Flow:
 
             artifact = None
             cached = False
-            with Timer() as timer:
-                if cacheable:
-                    artifact = self._lookup(store, stage, fingerprint, ctx, label)
-                    cached = artifact is not None
-                if artifact is None:
-                    ctx.current_fingerprint = fingerprint
-                    artifact = stage.compute(ctx)
-                stage.apply(ctx, artifact)
-            if not cached and cacheable:
-                self._record(store, stage, fingerprint, artifact, timer.elapsed, label)
+            with trace.span(
+                f"stage.{label}", kind=stage.kind, fingerprint=fingerprint[:12]
+            ) as stage_span:
+                with Timer() as timer:
+                    if cacheable:
+                        artifact = self._lookup(store, stage, fingerprint, ctx, label)
+                        cached = artifact is not None
+                    if artifact is None:
+                        ctx.current_fingerprint = fingerprint
+                        artifact = stage.compute(ctx)
+                    stage.apply(ctx, artifact)
+                if not cached and cacheable:
+                    self._record(
+                        store, stage, fingerprint, artifact, timer.elapsed, label
+                    )
+                stage_span.set(cache="hit" if cached else "run")
 
             result = StageResult(
                 stage=label,
@@ -176,11 +200,7 @@ class Flow:
             if progress is not None:
                 progress(result)
 
-        return FlowResult(
-            name=self.name,
-            design_fingerprint=design_fingerprint,
-            results=tuple(results),
-        )
+        return results
 
     # ------------------------------------------------------------------
     def _lookup(self, store, stage, fingerprint, ctx, label):

@@ -1,0 +1,121 @@
+"""Telemetry-hygiene lint: ``python -m repro.obs.lint [ROOT]``.
+
+Walks a source tree (default ``src/``) and fails on calls that bypass the
+observability layer:
+
+* ``time.perf_counter()`` / bare ``perf_counter()`` — all timing must go
+  through :func:`repro.obs.trace.clock` (directly or via
+  :class:`repro.utils.timer.Timer`) so there is exactly one monotonic
+  clock to reason about.
+* ``print(...)`` — library code reports through ``logging`` or returned
+  values; stdout belongs to the CLI.
+
+Exempt: the obs layer itself, the CLI front-end, and code inside
+``if __name__ == "__main__":`` blocks (the experiment harnesses' ad-hoc
+entry points).  The check is AST-based, so comments and strings never
+trigger it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+#: ``/``-separated path prefixes (relative to the scanned root) that may
+#: print and read the clock directly.
+ALLOWED_PREFIXES = ("repro/obs/", "repro/cli.py")
+
+
+def _guarded_ranges(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Line ranges of top-level ``if __name__ == "__main__":`` blocks."""
+    ranges = []
+    for node in tree.body:
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__"
+        ):
+            ranges.append((node.lineno, node.end_lineno or node.lineno))
+    return ranges
+
+
+def _forbidden_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in ("print", "perf_counter"):
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr == "perf_counter":
+        return "time.perf_counter"
+    return None
+
+
+def check_source(source: str, rel_path: str) -> List[str]:
+    """Violation messages for one file's source text."""
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as error:
+        return [f"{rel_path}:{error.lineno or 0}: syntax error: {error.msg}"]
+    guarded = _guarded_ranges(tree)
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _forbidden_call(node)
+        if name is None:
+            continue
+        if any(start <= node.lineno <= end for start, end in guarded):
+            continue
+        violations.append(
+            f"{rel_path}:{node.lineno}: bare {name}() — route timing through "
+            "repro.obs (clock/Timer) and output through logging/return values"
+        )
+    return violations
+
+
+def iter_source_files(root: str) -> List[str]:
+    """All ``.py`` files under ``root``, sorted for stable output."""
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in filenames:
+            if filename.endswith(".py"):
+                found.append(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def run(root: str) -> List[str]:
+    """Lint every non-exempt source file under ``root``."""
+    violations = []
+    for path in iter_source_files(root):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if any(
+            rel == prefix or rel.startswith(prefix) for prefix in ALLOWED_PREFIXES
+        ):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            violations.extend(check_source(handle.read(), rel))
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    root = argv[0] if argv else "src"
+    if not os.path.isdir(root):
+        print(f"repro.obs.lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    violations = run(root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"repro.obs.lint: {len(violations)} violation(s) under {root}")
+        return 1
+    print(f"repro.obs.lint: OK ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""The single place stdlib logging is configured for the package.
+
+Every ``repro.*`` module creates its logger with plain
+``logging.getLogger(__name__)`` and never touches handlers; callers (the
+CLI, tests, embedding applications) call :func:`configure_logging` once
+to decide where records go.  The configuration is deliberately minimal:
+one stderr handler with ISO-8601 timestamps on the ``repro`` parent
+logger, level from the explicit argument or the ``REPRO_LOG_LEVEL``
+environment variable (default ``WARNING``).
+
+Idempotent: repeated calls adjust the level but never stack handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional, Union
+
+from repro.errors import ReproError
+
+#: Environment variable consulted when no explicit level is given.
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_DATE_FORMAT = "%Y-%m-%dT%H:%M:%S%z"
+
+
+def _resolve_level(level: Optional[Union[str, int]]) -> int:
+    if level is None:
+        level = os.environ.get(ENV_LOG_LEVEL) or "WARNING"
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ReproError(
+            f"unknown log level {level!r} "
+            "(use DEBUG, INFO, WARNING, ERROR or CRITICAL)"
+        )
+    return resolved
+
+
+def configure_logging(
+    level: Optional[Union[str, int]] = None, stream=None
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    Args:
+        level: level name (``"debug"``) or numeric level; ``None`` falls
+            back to ``$REPRO_LOG_LEVEL``, then ``WARNING``.
+        stream: destination stream (default ``sys.stderr``).
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(_resolve_level(level))
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_obs_handler", False):
+            break
+    else:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATE_FORMAT))
+        handler._repro_obs_handler = True
+        logger.addHandler(handler)
+        # Records are fully handled here; don't duplicate them through any
+        # root-logger handlers the embedding application installed.
+        logger.propagate = False
+    return logger
+
+
+__all__ = ["configure_logging", "ENV_LOG_LEVEL"]

@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.errors import ReproError
 from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Netlist
+from repro.obs import trace
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -93,6 +94,15 @@ def random_balanced_start(
     return sides
 
 
+def _emit_fm_telemetry(passes: int, moves: int) -> None:
+    """Fold one FM run's work counters into the obs layer (both backends
+    call this from ``run()``, so recursive bisection is covered too)."""
+    if trace.enabled():
+        trace.counter("fm.runs").add(1)
+        trace.counter("fm.passes").add(passes)
+        trace.counter("fm.moves").add(moves)
+
+
 class FMPartitioner:
     """FM bisection over a subset of a netlist's cells.
 
@@ -138,6 +148,8 @@ class FMPartitioner:
         # Hoisted out of _balance_ok: recomputing the max per candidate
         # probe made every pass quadratic in the subset size.
         self._max_area = max(self._areas.values())
+        #: Lifetime tally of tentative moves across passes — telemetry.
+        self.moves = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -158,6 +170,7 @@ class FMPartitioner:
         # snapshot the best sides so the reported (sides, cut) pair always
         # matches.
         best_sides = dict(sides)
+        moves_before = self.moves
         improved = True
         while improved and passes < max_passes:
             passes += 1
@@ -166,6 +179,7 @@ class FMPartitioner:
             if improved:
                 best_cut = pass_cut
                 best_sides = dict(sides)
+        _emit_fm_telemetry(passes, self.moves - moves_before)
         return PartitionResult(sides=best_sides, cut=best_cut, passes=passes)
 
     # ------------------------------------------------------------------
@@ -284,6 +298,7 @@ class FMPartitioner:
             sides[chosen] = to_side
             area0 += self._areas[chosen] if to_side == 0 else -self._areas[chosen]
 
+        self.moves += len(sequence)
         if not cut_trace:
             return sides, self._cut(sides)
 
@@ -337,4 +352,8 @@ def fm_bisect(
         rng=rng,
         backend=backend,
     )
-    return partitioner.run(max_passes=max_passes)
+    with trace.span(
+        "partition.fm_bisect",
+        cells=len(cells) if cells is not None else netlist.num_cells,
+    ):
+        return partitioner.run(max_passes=max_passes)

@@ -44,7 +44,11 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.netlist.hypergraph import Netlist
-from repro.partition.fm import PartitionResult, random_balanced_start
+from repro.partition.fm import (
+    PartitionResult,
+    _emit_fm_telemetry,
+    random_balanced_start,
+)
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -204,6 +208,8 @@ class ArrayFMPartitioner:
         order = np.argsort(subset.net_cells, kind="stable")
         self._cell_ptr: List[int] = cell_ptr.tolist()
         self._cell_nets: List[int] = subset.pin_net[order].tolist()
+        #: Lifetime tally of tentative moves across passes — telemetry.
+        self.moves = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -240,6 +246,7 @@ class ArrayFMPartitioner:
         passes = 0
         best_cut = self._cut(side)
         best_side = list(side)
+        moves_before = self.moves
         improved = True
         while improved and passes < max_passes:
             passes += 1
@@ -248,6 +255,7 @@ class ArrayFMPartitioner:
             if improved:
                 best_cut = pass_cut
                 best_side = list(side)
+        _emit_fm_telemetry(passes, self.moves - moves_before)
         sides = dict(extra)
         for index, cell in enumerate(self._cells):
             sides[cell] = best_side[index]
@@ -469,6 +477,7 @@ class ArrayFMPartitioner:
                         self._COMPACT_THRESHOLD, 2 * (len(heap0) + len(heap1))
                     )
 
+        self.moves += len(sequence)
         if not cut_trace:
             # No move fit the balance constraint; counts are untouched so
             # current_cut is the reference's recount.

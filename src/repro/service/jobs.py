@@ -24,6 +24,7 @@ from repro.finder.config import FinderConfig
 from repro.finder.finder import TangledLogicFinder
 from repro.finder.result import FinderReport
 from repro.netlist.hypergraph import Netlist
+from repro.obs import trace
 from repro.service.fingerprint import job_fingerprint
 from repro.service.pool import WorkerPool
 from repro.service.store import ResultStore
@@ -176,7 +177,10 @@ class BatchRunner:
         """Execute a single job (cache lookup, run, cache insert)."""
         cacheable = self.use_cache and self.store is not None and job.deterministic
         cached_report = None
-        with Timer() as timer:
+        job_span = trace.span(
+            "service.job", label=job.label or job.fingerprint[:12]
+        )
+        with job_span, Timer() as timer:
             if cacheable:
                 try:
                     cached_report = self.store.get(job.fingerprint)
@@ -201,6 +205,7 @@ class BatchRunner:
                             job.label or job.fingerprint[:12],
                             store_error,
                         )
+            job_span.set(cache="hit" if cached_report is not None else "run")
         # Timer.elapsed is only assigned on block exit, so every JobResult is
         # built out here.
         if cached_report is not None:

@@ -21,15 +21,18 @@ of both the chunking and the worker count — ``workers=8`` reproduces the
 from __future__ import annotations
 
 import concurrent.futures
+import pickle
+import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ServiceError
 from repro.finder.config import FinderConfig
 from repro.finder.finder import _process_batch, _process_seed, _SeedOutcome
 from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Netlist
+from repro.obs import trace
 from repro.service.fingerprint import job_fingerprint
 
 # Worker-process-local context memo: key -> (netlist, config).  Populated the
@@ -56,8 +59,15 @@ def _worker_run_batch(
     key: str,
     indexed_jobs: Sequence[_IndexedJob],
     context: Optional[_Context] = None,
+    traced: bool = False,
 ):
-    """Run ``(index, (seed_cell, rng_seed))`` jobs inside a worker process."""
+    """Run ``(index, (seed_cell, rng_seed))`` jobs inside a worker process.
+
+    When ``traced``, the worker captures the spans and metrics its seeds
+    produce and returns ``{"rows", "spans", "metrics", "started_at",
+    "execute_s"}`` instead of the bare row list; the parent re-parents the
+    spans under its own ``pool.task`` span and merges the metrics.
+    """
     if context is not None:
         netlist, config = context[0], context[1]
         arrays = context[2] if len(context) > 2 else None
@@ -76,10 +86,28 @@ def _worker_run_batch(
     while len(_WORKER_CONTEXTS) > _WORKER_CONTEXT_LIMIT:
         del _WORKER_CONTEXTS[next(iter(_WORKER_CONTEXTS))]
     netlist, config = entry
-    return [
-        (index, _process_seed(netlist, config, cell, rng))
-        for index, (cell, rng) in indexed_jobs
-    ]
+    if not traced:
+        return [
+            (index, _process_seed(netlist, config, cell, rng))
+            for index, (cell, rng) in indexed_jobs
+        ]
+    started_at = time.time()  # wall clock: comparable with the parent's
+    tracer = trace.get_tracer()
+    with tracer.capture() as capture:
+        began = trace.clock()
+        with tracer.span("pool.batch", jobs=len(indexed_jobs)):
+            rows = [
+                (index, _process_seed(netlist, config, cell, rng))
+                for index, (cell, rng) in indexed_jobs
+            ]
+        execute_s = trace.clock() - began
+    return {
+        "rows": rows,
+        "spans": capture.spans,
+        "metrics": capture.metrics,
+        "started_at": started_at,
+        "execute_s": execute_s,
+    }
 
 
 @dataclass
@@ -149,7 +177,8 @@ class WorkerPool:
             return []
         if self.workers <= 1 or len(jobs) == 1:
             self.stats.serial_runs += 1
-            return _process_batch(netlist, config, jobs)
+            with trace.span("pool.serial", jobs=len(jobs)):
+                return _process_batch(netlist, config, jobs)
 
         if key is None:
             key = job_fingerprint(netlist, config)
@@ -160,6 +189,22 @@ class WorkerPool:
         remaining = [indexed[i::num_batches] for i in range(num_batches)]
 
         outcomes: List[Optional[_SeedOutcome]] = [None] * len(jobs)
+        with trace.span(
+            "pool.run", jobs=len(jobs), workers=self.workers, batches=num_batches
+        ):
+            self._run_batches(netlist, config, key, remaining, outcomes)
+        return outcomes  # type: ignore[return-value]  # every slot is filled
+
+    def _run_batches(
+        self,
+        netlist: Netlist,
+        config: FinderConfig,
+        key: str,
+        remaining: List[List[_IndexedJob]],
+        outcomes: List[Optional[_SeedOutcome]],
+    ) -> None:
+        """Submit/retry the batch lists until every outcome slot is filled."""
+        traced = trace.enabled()
         ship_context = key not in self._shipped_keys
         restarts = 0
         while remaining:
@@ -172,12 +217,20 @@ class WorkerPool:
                 context = (netlist, config, arrays)
             else:
                 context = None
+            context_bytes = 0
+            if traced and context is not None:
+                # Only paid when tracing: the serialized-payload size feeds
+                # the run report's transport counters.
+                context_bytes = len(pickle.dumps(context))
             futures = {}
+            submitted_at: Dict[Any, float] = {}
             broken = False
             retry: List[List[_IndexedJob]] = []
             for position, chunk in enumerate(remaining):
                 try:
-                    future = executor.submit(_worker_run_batch, key, chunk, context)
+                    future = executor.submit(
+                        _worker_run_batch, key, chunk, context, traced
+                    )
                 except (BrokenProcessPool, RuntimeError):
                     # The executor died while idle (e.g. a worker was OOM
                     # killed between runs): replay everything not yet
@@ -186,9 +239,13 @@ class WorkerPool:
                     retry.extend(remaining[position:])
                     break
                 futures[future] = chunk
+                submitted_at[future] = time.time()
                 self.stats.batches += 1
                 if context is not None:
                     self.stats.context_shipments += 1
+                    if traced:
+                        trace.counter("pool.context_shipments").add(1)
+                        trace.counter("pool.context_bytes").add(context_bytes)
             self._shipped_keys.add(key)
             try:
                 for future, chunk in futures.items():
@@ -200,9 +257,15 @@ class WorkerPool:
                         continue
                     if result == _MISSING_CONTEXT:
                         self.stats.context_misses += 1
+                        if traced:
+                            trace.counter("pool.context_misses").add(1)
                         retry.append(chunk)
                         continue
-                    for index, outcome in result:
+                    rows = result
+                    if traced and isinstance(result, dict):
+                        rows = result["rows"]
+                        self._record_task(result, submitted_at[future], len(chunk))
+                    for index, outcome in rows:
                         outcomes[index] = outcome
             except BaseException:
                 # An application error surfaced from a worker: don't leave
@@ -215,6 +278,8 @@ class WorkerPool:
             if broken:
                 restarts += 1
                 self.stats.restarts += 1
+                if traced:
+                    trace.counter("pool.restarts").add(1)
                 if restarts > self.max_retries:
                     raise ServiceError(
                         f"worker pool crashed {restarts} time(s); giving up "
@@ -226,7 +291,26 @@ class WorkerPool:
             ship_context = bool(retry)
             remaining = retry
 
-        return outcomes  # type: ignore[return-value]  # every slot is filled
+    def _record_task(
+        self, result: Dict[str, Any], submitted: float, num_jobs: int
+    ) -> None:
+        """Emit one ``pool.task`` span from a traced worker result and merge
+        the worker's telemetry under it.
+
+        Task duration/queue wait are wall-clock deltas (``time.time``): the
+        worker's monotonic clock origin is not comparable with the parent's.
+        """
+        tracer = trace.get_tracer()
+        task_id = tracer.record(
+            "pool.task",
+            duration=max(0.0, time.time() - submitted),
+            queue_wait_s=max(0.0, result["started_at"] - submitted),
+            execute_s=result["execute_s"],
+            jobs=num_jobs,
+        )
+        tracer.adopt(result["spans"], parent_id=task_id)
+        tracer.merge_metrics(result["metrics"])
+        trace.counter("pool.tasks").add(1)
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError, ServiceError
 from repro.finder.result import FinderReport
+from repro.obs import trace
 from repro.service.codec import report_from_dict, report_to_dict
 
 logger = logging.getLogger(__name__)
@@ -162,6 +163,7 @@ class ResultStore:
         reported as a miss so the caller recomputes and rewrites it.
         """
         self._require_open()
+        began = trace.clock() if trace.enabled() else None
         with self._wrap_db("cache lookup"):
             row = self._conn.execute(
                 "SELECT payload, kind, schema_version FROM results "
@@ -170,6 +172,7 @@ class ResultStore:
             ).fetchone()
         if row is None:
             self.stats.misses += 1
+            self._observe_get(began, hit=False)
             return None
         payload_text, row_kind, row_version = row
         data: Optional[Dict[str, Any]] = None
@@ -185,6 +188,7 @@ class ResultStore:
             # treat the lookup as a miss so the entry is recomputed.
             self.evict(fingerprint)
             self.stats.misses += 1
+            self._observe_get(began, hit=False)
             return None
         self.stats.hits += 1
         try:
@@ -198,7 +202,17 @@ class ResultStore:
             # The payload was already read; LRU bookkeeping must not turn a
             # hit into a failure (e.g. read-only cache dir, lock contention).
             logger.warning("cache hit bookkeeping failed on %s: %s", self._db_path, error)
+        self._observe_get(began, hit=True)
         return data
+
+    def _observe_get(self, began: Optional[float], hit: bool) -> None:
+        """Mirror one lookup into the obs layer when tracing is enabled
+        (``began`` is ``None`` otherwise).  :attr:`stats` stays the source
+        of truth for the CLI's cache line; these counters feed RunReport."""
+        if began is None:
+            return
+        trace.counter("store.hits" if hit else "store.misses").add(1)
+        trace.histogram("store.get_s").observe(trace.clock() - began)
 
     def put_payload(
         self,
@@ -215,6 +229,7 @@ class ResultStore:
         is opaque to the store.
         """
         self._require_open()
+        began = trace.clock() if trace.enabled() else None
         text = json.dumps(payload, separators=(",", ":"))
         now = time.time()
         with self._wrap_db("cache insert"):
@@ -236,6 +251,9 @@ class ResultStore:
             )
             self._conn.commit()
         self.stats.puts += 1
+        if began is not None:
+            trace.counter("store.puts").add(1)
+            trace.histogram("store.put_s").observe(trace.clock() - began)
 
     def demote_hit(self, fingerprint: str) -> None:
         """Reclassify the latest hit on ``fingerprint`` as a miss and evict.

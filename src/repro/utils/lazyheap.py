@@ -27,6 +27,8 @@ class LazyMaxHeap:
         self._heap: list = []
         self._current: dict = {}
         self._counter = itertools.count()
+        #: Lifetime push count (inserts + re-prioritizations) — telemetry.
+        self.pushes = 0
 
     def __len__(self) -> int:
         return len(self._current)
@@ -38,6 +40,7 @@ class LazyMaxHeap:
         """Insert ``item`` or update its priority."""
         entry = (-primary, -secondary, next(self._counter), item)
         self._current[item] = (primary, secondary)
+        self.pushes += 1
         heapq.heappush(self._heap, entry)
 
     def discard(self, item: Hashable) -> None:

@@ -1,8 +1,13 @@
-"""Wall-clock timing helper used by the experiment harnesses."""
+"""Wall-clock timing helper used by the experiment harnesses.
+
+A thin wrapper over the observability layer's :func:`repro.obs.trace.clock`
+— the codebase's single monotonic clock — so stage timings, job durations
+and span durations all come from the same time source.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs import trace
 
 
 class Timer:
@@ -19,11 +24,11 @@ class Timer:
         self.elapsed = 0.0
 
     def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
+        self.start = trace.clock()
         return self
 
     def __exit__(self, *exc) -> None:
-        self.elapsed = time.perf_counter() - self.start
+        self.elapsed = trace.clock() - self.start
 
     @property
     def minutes(self) -> float:
