@@ -14,6 +14,8 @@ Subcommands:
 * ``flow run``     — execute a declared multi-stage flow manifest
   (detect / partition / place / congestion / soft_blocks / resynthesis)
   over one or more designs, with per-stage fingerprint caching.
+* ``pack``         — convert a text design file to the binary pack format
+  (``.nla``), which loads zero-copy via mmap.
 
 Examples::
 
@@ -453,6 +455,23 @@ def _cmd_flow_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.io import PACKED_EXTENSION, pack_design, read_header
+
+    out = args.out
+    if not out:
+        out = os.path.splitext(args.design)[0] + PACKED_EXTENSION
+    written = pack_design(args.design, out)
+    header = read_header(out)
+    print(
+        f"packed {args.design} -> {out} ({written} bytes, "
+        f"{header.num_cells} cells / {header.num_nets} nets / "
+        f"{header.num_pins} pins)"
+    )
+    print(f"fingerprint: {header.fingerprint}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.netlist.stats import netlist_stats
 
@@ -580,6 +599,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="suppress per-stage progress on stderr")
     _add_obs_args(flow_run)
     flow_run.set_defaults(func=_cmd_flow_run)
+
+    pack = sub.add_parser(
+        "pack", help="convert a design file to the binary pack format (.nla)"
+    )
+    pack.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")
+    pack.add_argument(
+        "--out",
+        default="",
+        help="output pack file (default: design path with .nla extension)",
+    )
+    pack.set_defaults(func=_cmd_pack)
 
     stats = sub.add_parser("stats", help="profile a design file")
     stats.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")

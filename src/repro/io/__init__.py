@@ -4,9 +4,13 @@
   2005/2006 placement benchmarks (``.aux``, ``.nodes``, ``.nets``, ``.pl``).
 * :mod:`repro.io.edgelist` — plain edge-list graphs.
 * :mod:`repro.io.hgr` — hMETIS-style hypergraph files.
+* :mod:`repro.io.binfmt` — the versioned binary pack format (``.nla``),
+  loaded zero-copy through ``mmap``.
 
 :func:`load_design` dispatches on the file extension, so every consumer
-(CLI, flow manifests, scripts) shares one loader.
+(CLI, flow manifests, scripts) shares one loader; :func:`pack_design`
+converts any supported text format to a pack file (the ``repro pack``
+subcommand).
 """
 
 from __future__ import annotations
@@ -14,6 +18,13 @@ from __future__ import annotations
 import os
 
 from repro.errors import ParseError
+from repro.io.binfmt import (
+    PACKED_EXTENSION,
+    load_packed,
+    packed_fingerprint,
+    read_header,
+    write_packed,
+)
 from repro.io.bookshelf import read_bookshelf, write_bookshelf
 from repro.io.edgelist import read_edgelist, write_edgelist
 from repro.io.hgr import read_hgr, write_hgr
@@ -26,14 +37,16 @@ _SUPPORTED = (
     ".aux (Bookshelf)",
     ".hgr (hMETIS hypergraph)",
     "/".join(EDGELIST_EXTENSIONS) + " (edge list)",
+    PACKED_EXTENSION + " (binary pack)",
 )
 
 
 def load_design(path: str) -> Netlist:
     """Load a design file, dispatching on its extension.
 
-    Supports ``.aux`` (Bookshelf), ``.hgr`` (hMETIS) and
-    ``.edges``/``.edgelist``/``.el``/``.txt`` (edge list).  Raises
+    Supports ``.aux`` (Bookshelf), ``.hgr`` (hMETIS),
+    ``.edges``/``.edgelist``/``.el``/``.txt`` (edge list) and ``.nla``
+    (binary pack, mmap-loaded zero-copy).  Raises
     :class:`~repro.errors.ParseError` for missing files and for unknown
     extensions, naming the supported formats.
     """
@@ -45,6 +58,8 @@ def load_design(path: str) -> Netlist:
         return netlist
     if lower.endswith(".hgr"):
         return read_hgr(path)
+    if lower.endswith(PACKED_EXTENSION):
+        return load_packed(path)
     if lower.endswith(EDGELIST_EXTENSIONS):
         return read_edgelist(path)
     extension = os.path.splitext(path)[1] or "(none)"
@@ -55,9 +70,31 @@ def load_design(path: str) -> Netlist:
     )
 
 
+def pack_design(source: str, destination: str) -> int:
+    """Convert any supported design file into a pack file.
+
+    Parse-once/convert semantics: ``source`` is loaded through
+    :func:`load_design` (so ``.nla`` inputs re-pack losslessly too) and
+    written at ``destination`` in the :mod:`repro.io.binfmt` layout.
+    Returns the number of bytes written.
+    """
+    if not destination.lower().endswith(PACKED_EXTENSION):
+        raise ParseError(
+            f"pack output must use the {PACKED_EXTENSION!r} extension",
+            path=destination,
+        )
+    return write_packed(load_design(source), destination)
+
+
 __all__ = [
     "load_design",
+    "pack_design",
     "EDGELIST_EXTENSIONS",
+    "PACKED_EXTENSION",
+    "load_packed",
+    "packed_fingerprint",
+    "read_header",
+    "write_packed",
     "read_bookshelf",
     "write_bookshelf",
     "read_edgelist",

@@ -12,6 +12,7 @@ from repro.netlist.arrays import (
     gather_segments,
     geometry_backend,
 )
+from repro.netlist.backed import ArrayBackedNetlist, NameTable
 from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Cell, Net, Netlist
 from repro.netlist.builder import NetlistBuilder
@@ -35,7 +36,9 @@ from repro.netlist.stats import NetlistStats, netlist_stats
 from repro.netlist.validate import validate_netlist
 
 __all__ = [
+    "ArrayBackedNetlist",
     "Cell",
+    "NameTable",
     "Net",
     "Netlist",
     "NetlistArrays",

@@ -56,6 +56,15 @@ def gather_segments(
     total = int(lengths.sum())
     if total == 0:
         return flat[:0]
+    starts = np.asarray(starts, dtype=np.int64)
+    # Contiguity fast path: when the segments tile one contiguous run (each
+    # starts where the previous one ends — e.g. whole-CSR gathers), the
+    # answer is a slice view, no index array and no copy.
+    if len(starts) and np.array_equal(
+        starts[1:], starts[:-1] + lengths[:-1]
+    ):
+        begin = int(starts[0])
+        return flat[begin:begin + total]
     offsets = np.zeros(len(lengths), dtype=np.int64)
     np.cumsum(lengths[:-1], out=offsets[1:])
     return flat[np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, lengths)]

@@ -39,6 +39,12 @@ FINGERPRINT_VERSION = 1
 #: Config fields that do not influence detection results.
 _EXECUTION_ONLY_FIELDS = frozenset({"workers"})
 
+#: ``Netlist.derived_cache`` key memoizing :func:`fingerprint_netlist`.
+#: Netlists are immutable, so the fingerprint is computed at most once per
+#: object — and pack-file loads seed it straight from the header, making
+#: cache lookups on mmap-loaded designs O(1) instead of O(content).
+FINGERPRINT_CACHE_KEY = "netlist-fingerprint-v%d" % FINGERPRINT_VERSION
+
 
 def _hash_update_str(digest: "hashlib._Hash", text: str) -> None:
     data = text.encode("utf-8")
@@ -52,7 +58,14 @@ def fingerprint_netlist(netlist: Netlist) -> str:
     Covers cell names, areas, pin counts, fixed flags, net names and net
     membership (in index order — netlists are immutable, so index order is
     part of the content).
+
+    Memoized in ``netlist.derived_cache`` (immutability makes that sound);
+    pack files store this very fingerprint in their header, so loading one
+    pre-seeds the memo and no content walk ever happens.
     """
+    cached = netlist.derived_cache.get(FINGERPRINT_CACHE_KEY)
+    if cached is not None:
+        return cached
     digest = hashlib.sha256()
     digest.update(b"repro-netlist-v%d" % FINGERPRINT_VERSION)
     digest.update(netlist.num_cells.to_bytes(8, "little"))
@@ -68,7 +81,9 @@ def fingerprint_netlist(netlist: Netlist) -> str:
         digest.update(len(cells).to_bytes(8, "little"))
         for cell in cells:
             digest.update(cell.to_bytes(8, "little"))
-    return digest.hexdigest()
+    fingerprint = digest.hexdigest()
+    netlist.derived_cache[FINGERPRINT_CACHE_KEY] = fingerprint
+    return fingerprint
 
 
 def _normalize_config_value(value, field_type) -> object:

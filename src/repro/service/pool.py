@@ -7,6 +7,25 @@ ships each ``(netlist, config)`` context to the workers **once**: workers
 memoize contexts by key in a process-local cache, and later seed batches for
 the same context travel as bare ``(seed_cell, rng_seed)`` pairs.
 
+Context transport (the expensive part of that one shipment) has three
+shapes, chosen by :func:`transport_mode` per run:
+
+* **shm** (default on the numpy backend): the parent serializes the design
+  once into the pack-blob layout of :mod:`repro.io.binfmt`, places it in a
+  ``multiprocessing.shared_memory`` segment and sends workers only a small
+  descriptor ``("shm", name, nbytes, config_bytes)``.  Workers map the
+  segment and serve the netlist zero-copy from it — N workers share one
+  physical copy of the arrays instead of holding N pickled replicas.
+* **file**: when the parent's netlist was itself loaded from a pack file
+  that still exists with a matching header fingerprint, the descriptor is
+  just ``("file", path, fingerprint, config_bytes)`` and workers mmap the
+  same file through the page cache — nothing is serialized at all.
+* **pickle** (fallback): the classic pickled ``(netlist, config, arrays)``
+  tuple, forced by ``REPRO_PICKLE_TRANSPORT=1`` or by the scalar reference
+  backend (whose workers want real tuples, not array views), and used
+  automatically if shared-memory creation fails.  Results are bit-identical
+  across all three transports.
+
 Protocol: a batch submitted without its context to a worker that has not
 seen it yet returns a *miss* marker; the pool re-submits that batch with the
 context attached, priming the worker for the rest of its lifetime.  A worker
@@ -21,19 +40,46 @@ of both the chunking and the worker count — ``workers=8`` reproduces the
 from __future__ import annotations
 
 import concurrent.futures
+import gc
+import os
 import pickle
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ServiceError
+from repro.errors import ParseError, ServiceError
 from repro.finder.config import FinderConfig
 from repro.finder.finder import _process_batch, _process_seed, _SeedOutcome
+from repro.netlist.backed import ArrayBackedNetlist
 from repro.netlist.backend import resolve_backend
 from repro.netlist.hypergraph import Netlist
 from repro.obs import trace
-from repro.service.fingerprint import job_fingerprint
+from repro.service.fingerprint import FINGERPRINT_CACHE_KEY, job_fingerprint
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+#: Set to ``1`` to force the pickled-context transport (the pre-shm path).
+PICKLE_TRANSPORT_ENV = "REPRO_PICKLE_TRANSPORT"
+
+
+def transport_mode() -> str:
+    """``"shared"`` or ``"pickle"`` — how contexts reach the workers.
+
+    Shared-memory transport requires the numpy backend (the scalar
+    reference works on Python tuples, which a mapped blob cannot provide
+    zero-copy) and can be disabled with ``REPRO_PICKLE_TRANSPORT=1``.
+    """
+    if os.environ.get(PICKLE_TRANSPORT_ENV, "") == "1":
+        return "pickle"
+    if resolve_backend() != "numpy":
+        return "pickle"
+    return "shared"
+
 
 # Worker-process-local context memo: key -> (netlist, config).  Populated the
 # first time a batch arrives with its context attached.  Bounded: only the
@@ -43,16 +89,115 @@ from repro.service.fingerprint import job_fingerprint
 _WORKER_CONTEXTS: Dict[str, Tuple[Netlist, FinderConfig]] = {}
 _WORKER_CONTEXT_LIMIT = 4
 
+# key -> the SharedMemory segment backing that context's netlist, closed on
+# eviction.  The parent owns the segment name (and unlinks it); workers only
+# close their own mapping.
+_WORKER_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+_WORKER_PENDING_CLOSE: List[shared_memory.SharedMemory] = []
+
 #: Sentinel a worker returns when asked to run a batch for a context it has
 #: never been shown.
 _MISSING_CONTEXT = "__repro-missing-context__"
 
 _IndexedJob = Tuple[int, Tuple[int, int]]
 
-# A shipped context: (netlist, config, prebuilt NetlistArrays or None).  The
-# netlist pickles without its array view; shipping the parent's built CSR
-# arrays alongside it means no worker ever rebuilds them per context.
-_Context = Tuple[Netlist, FinderConfig, Optional[object]]
+# A shipped context is either a transport descriptor — ("pickle", payload),
+# ("shm", name, nbytes, config_bytes) or ("file", path, fingerprint,
+# config_bytes) — or, for compatibility with direct callers, the legacy
+# (netlist, config[, arrays]) tuple.
+_Context = Tuple[Any, ...]
+
+
+def _close_segment(segment: shared_memory.SharedMemory) -> bool:
+    try:
+        segment.close()
+        return True
+    except BufferError:
+        return False
+
+
+def _evict_worker_context(key: str) -> None:
+    """Drop one memoized context and unmap its shared-memory segment.
+
+    The netlist's array views keep the mapping's buffer exported until they
+    are garbage; derived caches (``ScoreContext`` et al.) form reference
+    cycles through the netlist, so a collection pass runs before the close
+    is retried and stubborn segments wait on a pending list.
+    """
+    _WORKER_CONTEXTS.pop(key, None)
+    segment = _WORKER_SEGMENTS.pop(key, None)
+    if segment is not None:
+        _WORKER_PENDING_CLOSE.append(segment)
+    if _WORKER_PENDING_CLOSE:
+        gc.collect()
+        _WORKER_PENDING_CLOSE[:] = [
+            s for s in _WORKER_PENDING_CLOSE if not _close_segment(s)
+        ]
+
+
+def _install_context(key: str, context: _Context) -> Tuple[Netlist, FinderConfig]:
+    """Materialize a shipped context inside a worker process."""
+    kind = context[0] if context and isinstance(context[0], str) else None
+    if kind == "pickle":
+        netlist, config, arrays = pickle.loads(context[1])
+        if arrays is not None:
+            # Install the shipped CSR view into the unpickled netlist's lazy
+            # cache slot so the array kernel never rebuilds it here.
+            netlist._arrays = arrays
+        return netlist, config
+    if kind == "shm":
+        from repro.io.binfmt import netlist_from_buffer
+
+        _, name, nbytes, config_bytes = context
+        segment = shared_memory.SharedMemory(name=name)
+        # The segment may be page-rounded beyond the blob; view exactly it.
+        netlist = netlist_from_buffer(
+            segment.buf[:nbytes], source=f"shm:{name}", owner=segment
+        )
+        _WORKER_SEGMENTS[key] = segment
+        return netlist, pickle.loads(config_bytes)
+    if kind == "file":
+        from repro.io.binfmt import load_packed
+
+        _, path, fingerprint, config_bytes = context
+        netlist = load_packed(path)
+        loaded = netlist.derived_cache.get(FINGERPRINT_CACHE_KEY)
+        if loaded != fingerprint:
+            raise ServiceError(
+                f"pack file {path} changed under the pool: worker loaded "
+                f"fingerprint {loaded}, parent shipped {fingerprint}"
+            )
+        return netlist, config_bytes and pickle.loads(config_bytes)
+    # Legacy in-process form: (netlist, config[, arrays]).
+    netlist, config = context[0], context[1]
+    arrays = context[2] if len(context) > 2 else None
+    if arrays is not None:
+        netlist._arrays = arrays
+    return netlist, config
+
+
+def _worker_memory() -> Dict[str, float]:
+    """Peak and current-private memory of this worker, in KiB.
+
+    ``private_kb`` (``smaps_rollup`` Private_Clean + Private_Dirty) is the
+    discriminating number under fork: pages inherited copy-on-write or
+    mapped from shared memory count as Shared, so a worker serving a design
+    out of an shm segment shows a flat private footprint while a pickled
+    replica shows up here in full.
+    """
+    memory = {"maxrss_kb": 0.0, "private_kb": 0.0}
+    if resource is not None:
+        memory["maxrss_kb"] = float(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        )
+    try:
+        with open("/proc/self/smaps_rollup") as handle:
+            for line in handle:
+                if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                    memory["private_kb"] += float(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    return memory
 
 
 def _worker_run_batch(
@@ -65,17 +210,13 @@ def _worker_run_batch(
 
     When ``traced``, the worker captures the spans and metrics its seeds
     produce and returns ``{"rows", "spans", "metrics", "started_at",
-    "execute_s"}`` instead of the bare row list; the parent re-parents the
-    spans under its own ``pool.task`` span and merges the metrics.
+    "execute_s", "maxrss_kb", "private_kb"}`` instead of the bare row list;
+    the parent re-parents the spans under its own ``pool.task`` span and
+    merges the metrics.
     """
     if context is not None:
-        netlist, config = context[0], context[1]
-        arrays = context[2] if len(context) > 2 else None
-        if arrays is not None:
-            # Install the shipped CSR view into the unpickled netlist's lazy
-            # cache slot so the array kernel never rebuilds it here.
-            netlist._arrays = arrays
-        _WORKER_CONTEXTS[key] = (netlist, config)
+        _evict_worker_context(key)  # drop any stale mapping before reinstall
+        _WORKER_CONTEXTS[key] = _install_context(key, context)
     entry = _WORKER_CONTEXTS.get(key)
     if entry is None:
         return _MISSING_CONTEXT
@@ -84,7 +225,7 @@ def _worker_run_batch(
     del _WORKER_CONTEXTS[key]
     _WORKER_CONTEXTS[key] = entry
     while len(_WORKER_CONTEXTS) > _WORKER_CONTEXT_LIMIT:
-        del _WORKER_CONTEXTS[next(iter(_WORKER_CONTEXTS))]
+        _evict_worker_context(next(iter(_WORKER_CONTEXTS)))
     netlist, config = entry
     if not traced:
         return [
@@ -107,6 +248,7 @@ def _worker_run_batch(
         "metrics": capture.metrics,
         "started_at": started_at,
         "execute_s": execute_s,
+        **_worker_memory(),
     }
 
 
@@ -116,10 +258,21 @@ class PoolStats:
 
     Attributes:
         batches: seed batches submitted to workers (including re-submits).
-        context_shipments: batches that carried a pickled netlist context.
+        context_shipments: batches that carried a netlist context (in any
+            transport).
         context_misses: batches bounced by an unprimed worker and re-sent.
         restarts: executor restarts after a worker crash.
         serial_runs: runs executed inline without touching the executor.
+        pickle_contexts: contexts shipped as full pickled payloads.
+        shm_contexts: contexts shipped as shared-memory descriptors.
+        file_contexts: contexts shipped as pack-file descriptors.
+        transport_fallbacks: shared-memory attempts that fell back to
+            pickle (e.g. ``/dev/shm`` exhausted).
+        shm_segments: shared-memory segments created by this pool.
+        shm_bytes: total bytes placed into shared memory.
+        context_bytes: bytes actually sent through the executor's pickle
+            channel for context shipments (descriptor size under shm/file
+            transport; full payload size under pickle transport).
     """
 
     batches: int = 0
@@ -127,6 +280,13 @@ class PoolStats:
     context_misses: int = 0
     restarts: int = 0
     serial_runs: int = 0
+    pickle_contexts: int = 0
+    shm_contexts: int = 0
+    file_contexts: int = 0
+    transport_fallbacks: int = 0
+    shm_segments: int = 0
+    shm_bytes: int = 0
+    context_bytes: int = 0
 
 
 class WorkerPool:
@@ -157,6 +317,10 @@ class WorkerPool:
         self.stats = PoolStats()
         self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._shipped_keys: Set[str] = set()
+        # key -> (segment, blob_nbytes).  The parent owns segment lifetime:
+        # it unlinks on eviction/shutdown; workers attach by name.  Bounded
+        # like the worker memo — an evicted context re-serializes on return.
+        self._segments: Dict[str, Tuple[shared_memory.SharedMemory, int]] = {}
 
     # ------------------------------------------------------------------
     def run_seed_jobs(
@@ -195,6 +359,115 @@ class WorkerPool:
             self._run_batches(netlist, config, key, remaining, outcomes)
         return outcomes  # type: ignore[return-value]  # every slot is filled
 
+    # ------------------------------------------------------------------
+    def _prepare_context(
+        self, netlist: Netlist, config: FinderConfig, key: str, traced: bool
+    ) -> Tuple[_Context, int]:
+        """Build the transport descriptor for one context shipment.
+
+        Returns ``(context, shipped_bytes)`` where ``shipped_bytes`` is what
+        actually crosses the executor's pickle channel per batch — the whole
+        payload under pickle transport, just the descriptor under shm/file.
+        """
+        if transport_mode() == "pickle":
+            return self._pickle_context(netlist, config)
+        config_bytes = pickle.dumps(config)
+        descriptor = self._file_context(netlist, config_bytes)
+        if descriptor is None:
+            descriptor = self._shm_context(netlist, config_bytes, key, traced)
+        if descriptor is None:  # shared memory unavailable: fall back
+            self.stats.transport_fallbacks += 1
+            return self._pickle_context(netlist, config)
+        shipped = len(pickle.dumps(descriptor))
+        if descriptor[0] == "shm":
+            self.stats.shm_contexts += 1
+        else:
+            self.stats.file_contexts += 1
+        if traced:
+            trace.counter("pool.descriptor_bytes").add(shipped)
+        return descriptor, shipped
+
+    def _pickle_context(
+        self, netlist: Netlist, config: FinderConfig
+    ) -> Tuple[_Context, int]:
+        # Ship the parent's (cached) CSR view with the context so no worker
+        # rebuilds it; under the scalar reference backend the workers never
+        # touch it, and an array-backed netlist already carries its arrays
+        # inside its own serialized form.
+        arrays = None
+        if resolve_backend() == "numpy" and not isinstance(
+            netlist, ArrayBackedNetlist
+        ):
+            arrays = netlist.arrays
+        payload = pickle.dumps((netlist, config, arrays))
+        self.stats.pickle_contexts += 1
+        return ("pickle", payload), len(payload)
+
+    def _file_context(
+        self, netlist: Netlist, config_bytes: bytes
+    ) -> Optional[_Context]:
+        """Pack-file descriptor, when the design came from a live pack file."""
+        if not isinstance(netlist, ArrayBackedNetlist):
+            return None
+        path = netlist.source
+        if not path or not os.path.isfile(path):
+            return None
+        fingerprint = netlist.derived_cache.get(FINGERPRINT_CACHE_KEY)
+        if fingerprint is None:
+            return None
+        try:
+            from repro.io.binfmt import packed_fingerprint
+
+            if packed_fingerprint(path) != fingerprint:
+                return None
+        except (ParseError, OSError):
+            return None
+        return ("file", path, fingerprint, config_bytes)
+
+    def _shm_context(
+        self, netlist: Netlist, config_bytes: bytes, key: str, traced: bool
+    ) -> Optional[_Context]:
+        """Shared-memory descriptor, creating/reusing the segment for ``key``."""
+        entry = self._segments.get(key)
+        if entry is None:
+            from repro.io.binfmt import serialize_netlist
+
+            blob = serialize_netlist(netlist)
+            try:
+                segment = shared_memory.SharedMemory(create=True, size=len(blob))
+            except OSError:
+                return None
+            segment.buf[: len(blob)] = blob
+            entry = (segment, len(blob))
+            self._segments[key] = entry
+            self.stats.shm_segments += 1
+            self.stats.shm_bytes += len(blob)
+            if traced:
+                trace.counter("pool.shm_segments").add(1)
+                trace.counter("pool.shm_bytes").add(len(blob))
+            while len(self._segments) > _WORKER_CONTEXT_LIMIT:
+                stale = next(iter(self._segments))
+                self._destroy_segment(*self._segments.pop(stale))
+        else:  # LRU touch
+            del self._segments[key]
+            self._segments[key] = entry
+        segment, nbytes = entry
+        return ("shm", segment.name, nbytes, config_bytes)
+
+    @staticmethod
+    def _destroy_segment(segment: shared_memory.SharedMemory, _nbytes: int) -> None:
+        _close_segment(segment)
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+
+    def _release_segments(self) -> None:
+        while self._segments:
+            _, entry = self._segments.popitem()
+            self._destroy_segment(*entry)
+
+    # ------------------------------------------------------------------
     def _run_batches(
         self,
         netlist: Netlist,
@@ -207,21 +480,17 @@ class WorkerPool:
         traced = trace.enabled()
         ship_context = key not in self._shipped_keys
         restarts = 0
+        context: Optional[_Context] = None
+        context_bytes = 0
         while remaining:
             executor = self._ensure_executor()
-            if ship_context:
-                # Ship the parent's (cached) CSR view with the context so no
-                # worker rebuilds it; under the scalar reference backend the
-                # workers never touch it, so skip the pickling cost.
-                arrays = netlist.arrays if resolve_backend() == "numpy" else None
-                context = (netlist, config, arrays)
-            else:
-                context = None
-            context_bytes = 0
-            if traced and context is not None:
-                # Only paid when tracing: the serialized-payload size feeds
-                # the run report's transport counters.
-                context_bytes = len(pickle.dumps(context))
+            if ship_context and context is None:
+                # Serialized exactly once per run; the same prepared payload
+                # serves every shipping batch and the byte counters.
+                context, context_bytes = self._prepare_context(
+                    netlist, config, key, traced
+                )
+            shipped = context if ship_context else None
             futures = {}
             submitted_at: Dict[Any, float] = {}
             broken = False
@@ -229,7 +498,7 @@ class WorkerPool:
             for position, chunk in enumerate(remaining):
                 try:
                     future = executor.submit(
-                        _worker_run_batch, key, chunk, context, traced
+                        _worker_run_batch, key, chunk, shipped, traced
                     )
                 except (BrokenProcessPool, RuntimeError):
                     # The executor died while idle (e.g. a worker was OOM
@@ -241,8 +510,9 @@ class WorkerPool:
                 futures[future] = chunk
                 submitted_at[future] = time.time()
                 self.stats.batches += 1
-                if context is not None:
+                if shipped is not None:
                     self.stats.context_shipments += 1
+                    self.stats.context_bytes += context_bytes
                     if traced:
                         trace.counter("pool.context_shipments").add(1)
                         trace.counter("pool.context_bytes").add(context_bytes)
@@ -307,10 +577,18 @@ class WorkerPool:
             queue_wait_s=max(0.0, result["started_at"] - submitted),
             execute_s=result["execute_s"],
             jobs=num_jobs,
+            maxrss_kb=result.get("maxrss_kb", 0.0),
+            private_kb=result.get("private_kb", 0.0),
         )
         tracer.adopt(result["spans"], parent_id=task_id)
         tracer.merge_metrics(result["metrics"])
         trace.counter("pool.tasks").add(1)
+        trace.histogram("pool.worker_maxrss_kb").observe(
+            result.get("maxrss_kb", 0.0)
+        )
+        trace.histogram("pool.worker_private_kb").observe(
+            result.get("private_kb", 0.0)
+        )
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
@@ -328,12 +606,20 @@ class WorkerPool:
         self._shipped_keys.clear()
 
     def shutdown(self) -> None:
-        """Stop the worker processes (idempotent); the pool may be reused —
-        the next run lazily starts a fresh executor."""
+        """Stop the worker processes and release shared-memory segments
+        (idempotent); the pool may be reused — the next run lazily starts a
+        fresh executor."""
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
         self._shipped_keys.clear()
+        self._release_segments()
+
+    def __del__(self) -> None:  # best-effort: don't leak named segments
+        try:
+            self._release_segments()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -79,6 +79,50 @@ def test_netlist_pickle_drops_arrays_cache(mixed_netlist):
     np.testing.assert_array_equal(clone.arrays.net_cells, mixed_netlist.arrays.net_cells)
 
 
+def _gather_general(flat, starts, lengths):
+    """The index-building general path, bypassing the contiguity fast path."""
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    offsets = np.zeros(len(lengths), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    total = int(lengths.sum())
+    return flat[np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, lengths)]
+
+
+def test_gather_segments_fast_path_agrees_with_general():
+    from repro.netlist.arrays import gather_segments
+
+    flat = np.arange(100, dtype=np.int64) * 3
+    cases = [
+        # Contiguous tilings (fast path): whole run, offset run, zero-length
+        # segments interleaved, single segment.
+        ([0, 10, 30], [10, 20, 5]),
+        ([7, 12, 12, 40], [5, 0, 28, 9]),
+        ([25], [60]),
+        # Non-contiguous: gaps, overlaps, out-of-order (general path).
+        ([0, 50, 20], [10, 10, 10]),
+        ([5, 5, 90], [3, 3, 10]),
+        ([10, 5], [4, 4]),
+    ]
+    for starts, lengths in cases:
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        np.testing.assert_array_equal(
+            gather_segments(flat, starts, lengths),
+            _gather_general(flat, starts, lengths),
+        )
+    assert gather_segments(flat, np.array([3]), np.array([0])).size == 0
+
+
+def test_gather_segments_contiguous_returns_view():
+    from repro.netlist.arrays import gather_segments
+
+    flat = np.arange(50, dtype=np.int64)
+    out = gather_segments(flat, np.array([5, 15]), np.array([10, 20]))
+    assert out.base is flat  # a slice view, not a fancy-index copy
+    np.testing.assert_array_equal(out, flat[5:35])
+
+
 def test_geometry_backend_resolution(monkeypatch):
     monkeypatch.delenv("REPRO_SCALAR_BACKEND", raising=False)
     monkeypatch.delenv("REPRO_SCALAR_GEOMETRY", raising=False)
