@@ -15,7 +15,13 @@ Subcommands:
   (detect / partition / place / congestion / soft_blocks / resynthesis)
   over one or more designs, with per-stage fingerprint caching.
 * ``pack``         — convert a text design file to the binary pack format
-  (``.nla``), which loads zero-copy via mmap.
+  (``.nla``), which loads zero-copy via mmap; with ``--out-dir`` pack a
+  whole manifest of designs into an indexed corpus the daemon can mmap.
+* ``serve``        — start the long-lived detection daemon: one warm
+  worker pool + result store + design LRU behind a local Unix socket.
+* ``submit``       — submit one detection job to a running daemon and
+  stream its lifecycle events.
+* ``status``       — query a running daemon (server stats or one job).
 
 Examples::
 
@@ -27,6 +33,10 @@ Examples::
     tangled-logic flow run flow.json --cache-dir .repro-cache --workers 4
     tangled-logic flow run flow.json --trace trace.jsonl --profile
     tangled-logic --log-level info batch jobs.json
+    tangled-logic pack jobs.json --out-dir packed/
+    tangled-logic serve --socket /tmp/repro.sock --workers 4 --pack-index packed/
+    tangled-logic submit design.hgr --seed 1 --priority interactive
+    tangled-logic status --socket /tmp/repro.sock
 
 Batch manifest (JSON; design paths are relative to the manifest)::
 
@@ -458,6 +468,21 @@ def _cmd_flow_run(args: argparse.Namespace) -> int:
 def _cmd_pack(args: argparse.Namespace) -> int:
     from repro.io import PACKED_EXTENSION, pack_design, read_header
 
+    if args.out_dir:
+        from repro.io.corpus import PACK_INDEX_NAME, pack_manifest
+
+        entries = pack_manifest(args.design, args.out_dir)
+        packed = sum(1 for entry in entries if entry.packed)
+        for entry in entries:
+            status = "packed" if entry.packed else "up-to-date"
+            print(f"{status}: {entry.source} -> {entry.pack_path}")
+        print(
+            f"{len(entries)} design(s): {packed} packed, "
+            f"{len(entries) - packed} reused; index at "
+            f"{os.path.join(args.out_dir, PACK_INDEX_NAME)}"
+        )
+        return 0
+
     out = args.out
     if not out:
         out = os.path.splitext(args.design)[0] + PACKED_EXTENSION
@@ -469,6 +494,142 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         f"{header.num_pins} pins)"
     )
     print(f"fingerprint: {header.fingerprint}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import ServerConfig, ServerDaemon
+
+    config = ServerConfig(
+        socket_path=args.socket,
+        cache_dir=args.cache_dir or ".repro-cache",
+        workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        starvation_limit=args.starvation_limit,
+        max_designs=args.max_designs,
+        pack_index=args.pack_index,
+    )
+    daemon = ServerDaemon(config)
+    obs = _ObsSession(args, "cli.serve")
+    print(
+        f"repro daemon: socket={config.socket_path} workers={config.workers} "
+        f"cache={config.cache_dir}"
+        + (f" pack-index={config.pack_index}" if config.pack_index else "")
+    )
+    print("serving; SIGTERM/Ctrl-C drains and stops", file=sys.stderr)
+    with obs:
+        daemon.serve_forever()
+    print("daemon stopped")
+    obs.emit()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.server import Client
+
+    config = {
+        key: value
+        for key, value in (
+            ("num_seeds", args.seeds),
+            ("metric", args.metric),
+            ("min_gtl_size", args.min_size),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    client = Client(args.socket, busy_retries=args.busy_retries)
+
+    def on_event(event) -> None:
+        if args.quiet:
+            return
+        name = event["event"]
+        if name == "queued":
+            print(f"queued: job {event['job_id']} "
+                  f"(position {event.get('position', '?')})", file=sys.stderr)
+        elif name == "started":
+            print(f"started after {event.get('wait_s', 0.0):.2f}s in queue",
+                  file=sys.stderr)
+        elif name == "progress":
+            print(f"progress: {event.get('stage')} ({event.get('cache')})",
+                  file=sys.stderr)
+
+    result = client.submit(
+        args.design,
+        config=config,
+        priority=args.priority,
+        label=args.label or os.path.basename(args.design),
+        wait=not args.no_wait,
+        on_event=on_event,
+    )
+    if result["event"] == "queued":
+        print(f"job {result['job_id']} queued (poll with: "
+              f"tangled-logic status --socket {args.socket} {result['job_id']})")
+        return 0
+    from repro.service.codec import report_from_dict
+
+    report = report_from_dict(result["report"])
+    origin = "cache" if result.get("cached") else "computed"
+    print(report.summary())
+    print(f"{origin} in {result.get('runtime_seconds', 0.0):.3f}s "
+          f"(fingerprint {result.get('fingerprint', '')[:12]})")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.server import Client
+
+    client = Client(args.socket)
+    if args.shutdown:
+        response = client.shutdown(drain=not args.no_drain)
+        print(f"shutdown requested (drain={response.get('drain')})")
+        return 0
+    status = client.status(args.job_id or None)
+    if args.json:
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    if args.job_id:
+        job = status["job"]
+        print(
+            f"job {job['job_id']}: {job['state']} ({job['kind']}, "
+            f"{job['priority']}, label={job['label']!r})"
+        )
+        print(f"  wait {job['wait_s']:.2f}s, run {job['run_s']:.2f}s, "
+              f"cached={job['cached']}")
+        if job.get("error"):
+            print(f"  error: {job['error']}")
+        return 0
+    queue = status["queue"]
+    store = status["store"]
+    print(f"daemon pid {status['pid']}, up {status['uptime_s']:.0f}s, "
+          f"{status['workers']} worker(s)")
+    print(
+        f"queue: {queue['depth']}/{queue['max_depth']} queued "
+        f"{queue['depths']}, {queue['submitted']} submitted, "
+        f"{queue['rejected']} rejected, {queue['cancelled']} cancelled"
+    )
+    print(
+        f"store: {store['entries']} entries, {store['hits']} hit(s) / "
+        f"{store['misses']} miss(es) ({store['hit_rate']:.0%}), "
+        f"{store['puts']} put(s)"
+    )
+    counters = status["counters"]
+    print(
+        f"served: {counters['done']} done, {counters['failed']} failed, "
+        f"{counters['warm_hits']} warm hit(s), "
+        f"{counters['requests']} request(s)"
+    )
+    designs = status["designs"]
+    print(
+        f"designs: {designs['loaded']}/{designs['max_designs']} loaded, "
+        f"{designs['hits']} hit(s), {designs['pack_loads']} pack load(s)"
+    )
+    if status["jobs"]:
+        print("recent jobs:")
+        for job in status["jobs"][:10]:
+            print(f"  {job['job_id']} {job['state']:9s} {job['priority']:11s} "
+                  f"{job['label']}")
     return 0
 
 
@@ -603,13 +764,85 @@ def build_parser() -> argparse.ArgumentParser:
     pack = sub.add_parser(
         "pack", help="convert a design file to the binary pack format (.nla)"
     )
-    pack.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")
+    pack.add_argument(
+        "design",
+        help=".aux (Bookshelf), .hgr, or edge-list file — or, with "
+        "--out-dir, a JSON manifest naming the designs to pack",
+    )
     pack.add_argument(
         "--out",
         default="",
         help="output pack file (default: design path with .nla extension)",
     )
+    pack.add_argument(
+        "--out-dir",
+        default="",
+        help="pack every design named by the manifest into this corpus "
+        "directory and write an index the daemon can serve from",
+    )
     pack.set_defaults(func=_cmd_pack)
+
+    # Mirrors repro.server.daemon.DEFAULT_SOCKET without importing the
+    # server stack just to build the parser.
+    DEFAULT_SOCKET = "/tmp/repro-server.sock"
+
+    serve = sub.add_parser(
+        "serve", help="start the long-lived detection daemon"
+    )
+    serve.add_argument("--socket", default=DEFAULT_SOCKET,
+                       help="Unix socket to listen on")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes in the shared pool")
+    serve.add_argument("--cache-dir", default="",
+                       help="result cache directory (default .repro-cache)")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="queued jobs admitted before backpressure")
+    serve.add_argument("--starvation-limit", type=int, default=8,
+                       help="dispatches a priority class may be passed over")
+    serve.add_argument("--max-designs", type=int, default=8,
+                       help="designs kept loaded in the LRU")
+    serve.add_argument("--pack-index", default="",
+                       help="pre-packed corpus directory (see `pack --out-dir`)")
+    _add_obs_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a detection job to a running daemon"
+    )
+    submit.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")
+    submit.add_argument("--socket", default=DEFAULT_SOCKET,
+                        help="daemon socket to connect to")
+    submit.add_argument("--seeds", type=int, default=None, dest="seeds",
+                        help="finder num_seeds")
+    submit.add_argument("--metric", choices=("gtl_s", "ngtl_s", "gtl_sd"),
+                        default=None)
+    submit.add_argument("--min-size", type=int, default=None)
+    submit.add_argument("--seed", type=int, default=None,
+                        help="RNG seed (pinned seeds make the job cacheable)")
+    submit.add_argument("--priority", choices=("interactive", "batch", "sweep"),
+                        default="batch")
+    submit.add_argument("--label", default="")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="enqueue and print the job id instead of streaming")
+    submit.add_argument("--busy-retries", type=int, default=3,
+                        help="automatic retries after a backpressure rejection")
+    submit.add_argument("--quiet", action="store_true",
+                        help="suppress lifecycle events on stderr")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="query a running daemon")
+    status.add_argument("job_id", nargs="?", default="",
+                        help="job id to inspect (default: server-level stats)")
+    status.add_argument("--socket", default=DEFAULT_SOCKET,
+                        help="daemon socket to connect to")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw status response as JSON")
+    status.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon to drain and stop")
+    status.add_argument("--no-drain", action="store_true",
+                        help="with --shutdown: cancel the backlog instead "
+                        "of draining it")
+    status.set_defaults(func=_cmd_status)
 
     stats = sub.add_parser("stats", help="profile a design file")
     stats.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")

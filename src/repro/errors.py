@@ -55,3 +55,16 @@ class ServiceError(ReproError):
 class FlowError(ReproError):
     """A staged flow was misdeclared or could not run (unknown stage,
     missing upstream artifact, bad stage config, ...)."""
+
+
+class ServerError(ReproError):
+    """The detection daemon failed (bad request, dead socket, protocol
+    violation, unclean shutdown, ...)."""
+
+
+class ServerBusy(ServerError):
+    """The daemon's job queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -30,7 +30,9 @@ Protocol: a batch submitted without its context to a worker that has not
 seen it yet returns a *miss* marker; the pool re-submits that batch with the
 context attached, priming the worker for the rest of its lifetime.  A worker
 crash (``BrokenProcessPool``) restarts the executor and replays the
-unfinished batches, up to ``max_retries`` times.
+unfinished batches, up to ``max_retries`` times.  A worker that died while
+the pool was *idle* (between jobs) is detected up front and the executor is
+respawned lazily before the next run — without consuming a retry.
 
 Outcomes are returned in the original job order, so results are independent
 of both the chunking and the worker count — ``workers=8`` reproduces the
@@ -261,7 +263,11 @@ class PoolStats:
         context_shipments: batches that carried a netlist context (in any
             transport).
         context_misses: batches bounced by an unprimed worker and re-sent.
-        restarts: executor restarts after a worker crash.
+        restarts: executor restarts after an in-task worker crash (these
+            count against ``max_retries``).
+        respawns: executors rebuilt *between* runs because a worker died
+            while idle (e.g. OOM-killed); detected lazily on the next run
+            and never counted against ``max_retries``.
         serial_runs: runs executed inline without touching the executor.
         pickle_contexts: contexts shipped as full pickled payloads.
         shm_contexts: contexts shipped as shared-memory descriptors.
@@ -279,6 +285,7 @@ class PoolStats:
     context_shipments: int = 0
     context_misses: int = 0
     restarts: int = 0
+    respawns: int = 0
     serial_runs: int = 0
     pickle_contexts: int = 0
     shm_contexts: int = 0
@@ -591,7 +598,32 @@ class WorkerPool:
         )
 
     # ------------------------------------------------------------------
+    def _workers_dead(self) -> bool:
+        """True when the idle executor has lost a worker (or broke).
+
+        A worker OOM-killed *between* jobs leaves the executor poisoned:
+        the next submit would raise ``BrokenProcessPool`` and burn one of
+        the run's retries on a failure that predates it.  Checking process
+        liveness up front lets :meth:`_ensure_executor` rebuild lazily —
+        the next task starts on a healthy pool and retries stay reserved
+        for crashes that happen *during* that task.
+        """
+        executor = self._executor
+        if executor is None:
+            return False
+        if getattr(executor, "_broken", False):
+            return True
+        processes = getattr(executor, "_processes", None)
+        if not processes:
+            return False
+        return any(not process.is_alive() for process in processes.values())
+
     def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._executor is not None and self._workers_dead():
+            self.stats.respawns += 1
+            if trace.enabled():
+                trace.counter("pool.respawns").add(1)
+            self._restart_executor()
         if self._executor is None:
             self._executor = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.workers

@@ -15,6 +15,12 @@ is a thin layer over the generic payload methods.
 
 The store keeps live hit/miss counters (:class:`CacheStats`) so batch and
 flow runs can report their cache effectiveness.
+
+Concurrency: the database runs in WAL journal mode with a busy timeout, so
+one cache directory can be shared by a long-lived daemon and concurrent
+CLI runs (readers never block the writer; a second writer waits instead of
+erroring), and each :class:`ResultStore` instance is thread-safe — an
+internal lock serializes use of the single SQLite connection.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import json
 import logging
 import os
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -116,12 +123,29 @@ class ResultStore:
 
     DB_NAME = "results.sqlite"
 
+    #: How long a writer waits on another connection's lock before failing.
+    #: Shared by the SQLite driver timeout and ``PRAGMA busy_timeout``.
+    BUSY_TIMEOUT_S = 5.0
+
     def __init__(self, cache_dir: str) -> None:
         self.cache_dir = cache_dir
         os.makedirs(cache_dir, exist_ok=True)
         self._db_path = os.path.join(cache_dir, self.DB_NAME)
+        # One store instance may be shared across daemon threads (connection
+        # threads answer warm lookups while the scheduler thread inserts);
+        # SQLite connections are not thread-safe objects, so every operation
+        # holds this lock.  Cross-*process* sharing (daemon + concurrent CLI
+        # runs on one cache dir) is what WAL mode and the busy timeout are
+        # for: readers never block the writer and a second writer waits
+        # instead of failing with "database is locked".
+        self._lock = threading.RLock()
         try:
-            self._conn = sqlite3.connect(self._db_path)
+            self._conn = sqlite3.connect(
+                self._db_path,
+                timeout=self.BUSY_TIMEOUT_S,
+                check_same_thread=False,
+            )
+            self._configure_connection()
             self._conn.execute(_SCHEMA)
             self._migrate()
             self._conn.commit()
@@ -130,6 +154,32 @@ class ResultStore:
                 f"cannot open result store at {self._db_path}: {error}"
             ) from error
         self.stats = CacheStats()
+
+    def _configure_connection(self) -> None:
+        """Switch the database to WAL journaling with a busy timeout.
+
+        WAL is persistent (stamped into the database file), but the pragma
+        is re-issued on every open so stores created by older releases
+        upgrade in place.  Filesystems that cannot support WAL (some network
+        mounts) keep the default rollback journal — the store still works,
+        only multi-writer concurrency degrades.
+        """
+        self._conn.execute(
+            "PRAGMA busy_timeout = %d" % int(self.BUSY_TIMEOUT_S * 1000)
+        )
+        try:
+            row = self._conn.execute("PRAGMA journal_mode = WAL").fetchone()
+            self.journal_mode = row[0] if row else "unknown"
+        except sqlite3.Error as error:  # pragma: no cover - exotic filesystems
+            self.journal_mode = "unknown"
+            logger.warning("could not enable WAL on %s: %s", self._db_path, error)
+        if self.journal_mode.lower() != "wal":  # pragma: no cover - exotic fs
+            logger.warning(
+                "result store %s running without WAL (journal_mode=%s); "
+                "concurrent writers may contend",
+                self._db_path,
+                self.journal_mode,
+            )
 
     def _migrate(self) -> None:
         """Bring a database created by an older release up to this schema.
@@ -164,7 +214,7 @@ class ResultStore:
         """
         self._require_open()
         began = trace.clock() if trace.enabled() else None
-        with self._wrap_db("cache lookup"):
+        with self._lock, self._wrap_db("cache lookup"):
             row = self._conn.execute(
                 "SELECT payload, kind, schema_version FROM results "
                 "WHERE fingerprint = ?",
@@ -192,12 +242,13 @@ class ResultStore:
             return None
         self.stats.hits += 1
         try:
-            self._conn.execute(
-                "UPDATE results SET last_used_at = ?, use_count = use_count + 1 "
-                "WHERE fingerprint = ?",
-                (time.time(), fingerprint),
-            )
-            self._conn.commit()
+            with self._lock:
+                self._conn.execute(
+                    "UPDATE results SET last_used_at = ?, use_count = use_count + 1 "
+                    "WHERE fingerprint = ?",
+                    (time.time(), fingerprint),
+                )
+                self._conn.commit()
         except sqlite3.Error as error:
             # The payload was already read; LRU bookkeeping must not turn a
             # hit into a failure (e.g. read-only cache dir, lock contention).
@@ -232,7 +283,7 @@ class ResultStore:
         began = trace.clock() if trace.enabled() else None
         text = json.dumps(payload, separators=(",", ":"))
         now = time.time()
-        with self._wrap_db("cache insert"):
+        with self._lock, self._wrap_db("cache insert"):
             self._conn.execute(
                 "INSERT OR REPLACE INTO results "
                 "(fingerprint, payload, created_at, last_used_at, use_count, "
@@ -294,7 +345,7 @@ class ResultStore:
     def evict(self, fingerprint: str) -> bool:
         """Remove one entry; returns True when a row was deleted."""
         self._require_open()
-        with self._wrap_db("cache eviction"):
+        with self._lock, self._wrap_db("cache eviction"):
             cursor = self._conn.execute(
                 "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
             )
@@ -310,7 +361,7 @@ class ResultStore:
         self._require_open()
         if keep < 0:
             raise ServiceError("evict_lru keep must be >= 0")
-        with self._wrap_db("cache eviction"):
+        with self._lock, self._wrap_db("cache eviction"):
             cursor = self._conn.execute(
                 "DELETE FROM results WHERE fingerprint NOT IN ("
                 "SELECT fingerprint FROM results "
@@ -329,30 +380,36 @@ class ResultStore:
         """``(fingerprint, num_items, runtime_seconds)`` of every stored
         row, most recently used first."""
         self._require_open()
-        return list(
-            self._conn.execute(
-                "SELECT fingerprint, num_gtls, runtime_seconds FROM results "
-                "ORDER BY last_used_at DESC"
+        with self._lock:
+            return list(
+                self._conn.execute(
+                    "SELECT fingerprint, num_gtls, runtime_seconds FROM results "
+                    "ORDER BY last_used_at DESC"
+                )
             )
-        )
 
     def __len__(self) -> int:
         self._require_open()
-        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
 
     def __contains__(self, fingerprint: str) -> bool:
         self._require_open()
-        row = self._conn.execute(
-            "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
         return row is not None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the underlying database (idempotent)."""
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
     def _require_open(self) -> None:
         if self._conn is None:

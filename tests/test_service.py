@@ -421,3 +421,85 @@ def test_experiments_detect_without_cache_dir(monkeypatch, small):
     plain = find_tangled_logic(netlist, CFG)
     assert report.gtls == plain.gtls
     assert report.rent_exponent == plain.rent_exponent
+
+
+# ----------------------------------------------------------------------
+# WAL concurrency: daemon threads + CLI runs share one cache directory
+# ----------------------------------------------------------------------
+def test_store_uses_wal_journal_mode(tmp_path):
+    with ResultStore(str(tmp_path)) as store:
+        assert store.journal_mode.lower() == "wal"
+
+
+def test_store_two_concurrent_writers(tmp_path, small_report):
+    """Two open stores (daemon + a concurrent CLI run) write one cache dir.
+
+    Before WAL + busy_timeout, the second writer would hit ``database is
+    locked``; now both sets of puts land and each store reads the other's
+    rows through its own connection.
+    """
+    import dataclasses
+    import threading
+
+    writers = [ResultStore(str(tmp_path)) for _ in range(2)]
+    errors = []
+
+    def hammer(store, offset):
+        try:
+            for index in range(20):
+                report = dataclasses.replace(
+                    small_report,
+                    config=dataclasses.replace(
+                        small_report.config, seed=offset * 100 + index
+                    ),
+                )
+                store.put(f"writer{offset}-{index:03d}", report)
+        except Exception as error:  # surfaced after the join
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=hammer, args=(store, offset))
+        for offset, store in enumerate(writers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert errors == []
+    try:
+        # Cross-visibility: each connection sees both writers' rows.
+        for store in writers:
+            assert len(store) == 40
+            assert store.get("writer0-000") is not None
+            assert store.get("writer1-019") is not None
+    finally:
+        for store in writers:
+            store.close()
+
+
+def test_store_concurrent_same_fingerprint_upsert(tmp_path, small_report):
+    """Both writers racing on the SAME fingerprint must not corrupt the row."""
+    import threading
+
+    writers = [ResultStore(str(tmp_path)) for _ in range(2)]
+    errors = []
+
+    def hammer(store):
+        try:
+            for _ in range(10):
+                store.put("shared-fingerprint", small_report)
+        except Exception as error:
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer, args=(s,)) for s in writers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert errors == []
+    try:
+        assert writers[0].get("shared-fingerprint") == small_report
+        assert len(writers[1]) == 1
+    finally:
+        for store in writers:
+            store.close()

@@ -243,3 +243,45 @@ def test_cli_pack_default_output_path(tmp_path, capsys, design):
     write_hgr(design, source)
     assert main(["pack", source]) == 0
     assert os.path.exists(str(tmp_path / "design.nla"))
+
+
+# ----------------------------------------------------------------------
+# Idle worker death: lazy respawn instead of a failed next task
+# ----------------------------------------------------------------------
+def test_pool_respawns_after_idle_worker_death(design, serial_report):
+    """A worker killed BETWEEN jobs is replaced lazily on the next run.
+
+    This is the daemon scenario: the pool sits warm for hours and a worker
+    gets OOM-killed while idle.  The next submitted job must transparently
+    rebuild the executor — not fail — and the rebuild must be recorded as a
+    respawn, never as a retry-consuming restart.
+    """
+    import os
+    import signal
+    import time
+
+    with WorkerPool(2) as pool:
+        first = TangledLogicFinder(design, CFG2).run(pool=pool)
+        assert _same_report(first, serial_report)
+        assert pool.stats.respawns == 0
+
+        processes = dict(pool._executor._processes)
+        victim = next(iter(processes.values()))
+        os.kill(victim.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10
+        while victim.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not victim.is_alive()
+
+        second = TangledLogicFinder(design, CFG2).run(pool=pool)
+        assert _same_report(second, serial_report)
+        assert pool.stats.respawns == 1
+        assert pool.stats.restarts == 0  # never billed against max_retries
+
+
+def test_pool_workers_dead_is_false_for_healthy_pool(design):
+    with WorkerPool(2) as pool:
+        assert pool._workers_dead() is False  # no executor yet
+        TangledLogicFinder(design, CFG2).run(pool=pool)
+        assert pool._workers_dead() is False  # live workers
+    assert pool._workers_dead() is False  # shut down: nothing to respawn
