@@ -14,13 +14,22 @@ Subcommands:
 * ``flow run``     — execute a declared multi-stage flow manifest
   (detect / partition / place / congestion / soft_blocks / resynthesis)
   over one or more designs, with per-stage fingerprint caching.
+* ``diff``         — structural diff of two designs; prints (and
+  optionally writes) the :class:`~repro.incremental.NetlistDelta`.
+* ``detect``       — detection with incremental reuse: patch a cached
+  base run through the dirty region of the edit instead of recomputing
+  (``--base`` names a base design or fingerprint; defaults to the
+  per-config head pointer in the cache).
+* ``cache``        — result-cache maintenance: ``stats`` (entries per
+  artifact kind) and ``prune --keep N`` (LRU eviction).
 * ``pack``         — convert a text design file to the binary pack format
   (``.nla``), which loads zero-copy via mmap; with ``--out-dir`` pack a
   whole manifest of designs into an indexed corpus the daemon can mmap.
 * ``serve``        — start the long-lived detection daemon: one warm
   worker pool + result store + design LRU behind a local Unix socket.
 * ``submit``       — submit one detection job to a running daemon and
-  stream its lifecycle events.
+  stream its lifecycle events; ``--delta BASE`` ships only the edit
+  against an already-known base design.
 * ``status``       — query a running daemon (server stats or one job).
 
 Examples::
@@ -539,6 +548,20 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     }
     client = Client(args.socket, busy_retries=args.busy_retries)
 
+    design = args.design
+    delta_payload = None
+    if args.delta:
+        # Delta submit: diff locally against the base design the daemon
+        # already knows, and ship only the edit — "design" becomes the
+        # base path; the edited netlist itself never crosses the socket.
+        from repro.incremental import diff
+
+        delta = diff(_load_design(args.delta), _load_design(args.design))
+        delta_payload = delta.to_dict()
+        design = args.delta
+        if not args.quiet:
+            print(f"delta vs {args.delta}: {delta.summary()}", file=sys.stderr)
+
     def on_event(event) -> None:
         if args.quiet:
             return
@@ -554,12 +577,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                   file=sys.stderr)
 
     result = client.submit(
-        args.design,
+        design,
         config=config,
         priority=args.priority,
         label=args.label or os.path.basename(args.design),
         wait=not args.no_wait,
         on_event=on_event,
+        delta=delta_payload,
     )
     if result["event"] == "queued":
         print(f"job {result['job_id']} queued (poll with: "
@@ -572,6 +596,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(report.summary())
     print(f"{origin} in {result.get('runtime_seconds', 0.0):.3f}s "
           f"(fingerprint {result.get('fingerprint', '')[:12]})")
+    incremental = result.get("incremental")
+    if incremental:
+        print(f"incremental: mode={incremental.get('mode')} "
+              f"seeds {incremental.get('seeds_recomputed')}/"
+              f"{incremental.get('seeds_total')} re-run, "
+              f"{incremental.get('dirty_cells')} dirty cell(s)")
     return 0
 
 
@@ -631,6 +661,98 @@ def _cmd_status(args: argparse.Namespace) -> int:
             print(f"  {job['job_id']} {job['state']:9s} {job['priority']:11s} "
                   f"{job['label']}")
     return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.incremental import delta_fingerprint, diff
+    from repro.service.fingerprint import fingerprint_netlist
+
+    old = _load_design(args.old)
+    new = _load_design(args.new)
+    delta = diff(old, new)
+    base_fp = fingerprint_netlist(old)
+    print(f"base: {args.old} ({old.num_cells} cells, {old.num_nets} nets, "
+          f"fingerprint {base_fp[:12]})")
+    print(f"new:  {args.new} ({new.num_cells} cells, {new.num_nets} nets, "
+          f"fingerprint {fingerprint_netlist(new)[:12]})")
+    print(f"delta: {delta.summary()}"
+          + (" (netlists identical)" if delta.is_empty else ""))
+    print(f"delta fingerprint: {delta_fingerprint(base_fp, delta)[:12]}")
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as handle:
+            _json.dump(delta.to_dict(), handle)
+        print(f"wrote delta ({delta.num_edits} edit(s)) to {args.json}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.incremental import detect_with_reuse
+
+    netlist = _load_design(args.design)
+    config = FinderConfig(
+        num_seeds=args.seeds,
+        metric=args.metric,
+        max_order_length=args.max_order_length,
+        min_gtl_size=args.min_size,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    base_netlist = None
+    base_fingerprint = ""
+    if args.base:
+        if os.path.exists(args.base):
+            base_netlist = _load_design(args.base)
+        else:
+            base_fingerprint = args.base  # a netlist fingerprint from a prior run
+    store = _open_store(args)
+    obs = _ObsSession(args, "cli.detect")
+    try:
+        with obs:
+            result = detect_with_reuse(
+                netlist,
+                config,
+                store,
+                base=base_netlist,
+                base_fingerprint=base_fingerprint,
+                halo=args.halo,
+                full_threshold=args.full_threshold,
+            )
+    finally:
+        cache_line = store.stats.summary() if store else "cache disabled"
+        if store:
+            store.close()
+    print(result.report.summary())
+    print(result.summary())
+    if result.base_fingerprint:
+        print(f"base fingerprint: {result.base_fingerprint[:12]}, "
+              f"delta fingerprint: {result.delta_fingerprint[:12]}")
+    print(f"cache: {cache_line}")
+    obs.emit()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.service.store import ResultStore
+
+    store = ResultStore(args.cache_dir or ".repro-cache")
+    try:
+        if args.cache_command == "stats":
+            entries = store.entries()
+            total_runtime = sum(runtime for _, _, runtime in entries)
+            print(f"cache dir: {store.cache_dir}")
+            print(f"{len(entries)} entr(ies), "
+                  f"{total_runtime:.1f}s of saved compute")
+            for kind, count in store.kind_counts().items():
+                print(f"  {kind}: {count}")
+            return 0
+        evicted = store.evict_lru(args.keep)
+        print(f"pruned {evicted} entr(ies); {len(store)} kept "
+              f"(LRU, --keep {args.keep})")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -761,6 +883,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(flow_run)
     flow_run.set_defaults(func=_cmd_flow_run)
 
+    diff = sub.add_parser(
+        "diff", help="structural diff of two designs (netlist delta)"
+    )
+    diff.add_argument("old", help="base design file (.aux, .hgr, .nla, ...)")
+    diff.add_argument("new", help="edited design file")
+    diff.add_argument("--json", default="",
+                      help="write the delta (NetlistDelta JSON) here")
+    diff.set_defaults(func=_cmd_diff)
+
+    detect = sub.add_parser(
+        "detect",
+        help="detection with incremental reuse (patch a cached base run)",
+    )
+    detect.add_argument("design", help=".aux (Bookshelf), .hgr, or edge-list file")
+    detect.add_argument("--base", default="",
+                        help="base to patch from: a design file, or the "
+                        "netlist fingerprint of a prior cached run "
+                        "(default: the per-config head pointer)")
+    detect.add_argument("--halo", type=int, default=0,
+                        help="extra dirty-region hops (conservatism knob; "
+                        "never changes results)")
+    detect.add_argument("--full-threshold", type=float, default=0.25,
+                        help="dirty fraction above which a full recompute "
+                        "is cheaper than patching")
+    detect.add_argument("--seeds", type=int, default=100, dest="seeds")
+    detect.add_argument("--metric", choices=("gtl_s", "ngtl_s", "gtl_sd"),
+                        default="gtl_sd")
+    detect.add_argument("--max-order-length", type=int, default=0)
+    detect.add_argument("--min-size", type=int, default=30)
+    detect.add_argument("--workers", type=int, default=1)
+    detect.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (incremental reuse requires one)")
+    detect.add_argument("--cache-dir", default="",
+                        help="result cache directory (default .repro-cache)")
+    detect.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache (forces a full run)")
+    _add_obs_args(detect)
+    detect.set_defaults(func=_cmd_detect)
+
+    cache = sub.add_parser("cache", help="inspect or prune the result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry counts per artifact kind"
+    )
+    cache_stats.add_argument("--cache-dir", default="",
+                             help="result cache directory (default .repro-cache)")
+    cache_stats.set_defaults(func=_cmd_cache)
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict all but the N most recently used entries"
+    )
+    cache_prune.add_argument("--keep", type=int, required=True,
+                             help="entries to keep (LRU order)")
+    cache_prune.add_argument("--cache-dir", default="",
+                             help="result cache directory (default .repro-cache)")
+    cache_prune.set_defaults(func=_cmd_cache)
+
     pack = sub.add_parser(
         "pack", help="convert a design file to the binary pack format (.nla)"
     )
@@ -822,6 +1000,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--priority", choices=("interactive", "batch", "sweep"),
                         default="batch")
     submit.add_argument("--label", default="")
+    submit.add_argument("--delta", default="", metavar="BASE",
+                        help="delta submit: diff the design against this "
+                        "base file and ship only the edit (the daemon "
+                        "reconstructs and detects server-side)")
     submit.add_argument("--no-wait", action="store_true",
                         help="enqueue and print the job id instead of streaming")
     submit.add_argument("--busy-retries", type=int, default=3,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import logging
 import math
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import FinderError
 from repro.finder.candidate import CandidateGTL, extract_candidate
@@ -39,8 +39,13 @@ if TYPE_CHECKING:  # import cycle: service.pool executes this module's seeds
 logger = logging.getLogger(__name__)
 
 # One seed's outcome: (refined candidate or None, ordering Rent estimate,
-# number of orderings grown).
-_SeedOutcome = Tuple[Optional[CandidateGTL], float, int]
+# number of orderings grown, footprint).  The footprint is the sorted tuple
+# of every cell absorbed by any ordering this seed grew (Phase I plus the
+# refinement re-growths); it is the seed's read-set over the netlist, so an
+# edit whose dirty region (see :mod:`repro.incremental.dirty`) misses the
+# footprint cannot change the outcome — the invariant incremental
+# detection's reuse rests on.
+_SeedOutcome = Tuple[Optional[CandidateGTL], float, int, Tuple[int, ...]]
 
 
 def _process_seed(
@@ -67,6 +72,7 @@ def _process_seed(
                 exclude_fixed=config.exclude_fixed,
                 backend=backend,
             )
+        touched: Set[int] = set(ordering)
         orderings_grown = 1
         with trace.span("finder.phase2"):
             candidate = extract_candidate(
@@ -78,6 +84,7 @@ def _process_seed(
                 # is *excluded* from the average instead of dragging it toward
                 # the assumed 0.6; when every ordering is unusable the finder
                 # flags rent_fallback.
+                footprint = tuple(sorted(touched))
                 if backend == "numpy":
                     from repro.finder.candidate import ordering_curves_and_rent
 
@@ -85,7 +92,7 @@ def _process_seed(
                         netlist, ordering, config.rent_min_prefix,
                         fallback=float("nan"),
                     )
-                    return None, rent, orderings_grown
+                    return None, rent, orderings_grown, footprint
                 from repro.finder.candidate import scan_ordering
                 from repro.metrics.rent import estimate_rent_exponent_from_prefixes
 
@@ -94,7 +101,7 @@ def _process_seed(
                     prefix_stats, min_size=config.rent_min_prefix,
                     fallback=float("nan"),
                 )
-                return None, rent, orderings_grown
+                return None, rent, orderings_grown, footprint
         trace.counter("finder.candidates").add(1)
 
         with trace.span("finder.phase3"):
@@ -105,9 +112,12 @@ def _process_seed(
                 rent_exponent=candidate.rent_exponent,
                 rng=rng_seed,
                 backend=backend,
+                touched=touched,
             )
         orderings_grown += config.refine_count
-        return refined, candidate.rent_exponent, orderings_grown
+        return refined, candidate.rent_exponent, orderings_grown, tuple(
+            sorted(touched)
+        )
 
 
 def _process_batch(
@@ -115,6 +125,102 @@ def _process_batch(
 ) -> List[_SeedOutcome]:
     """Process several ``(seed_cell, rng_seed)`` jobs in one worker."""
     return [_process_seed(netlist, config, cell, rng) for cell, rng in jobs]
+
+
+def _draw_seed_cells(netlist: Netlist, config: FinderConfig) -> List[int]:
+    from repro.finder.seeding import draw_seeds
+
+    if config.exclude_fixed:
+        eligible = netlist.movable_cells()
+    else:
+        eligible = list(range(netlist.num_cells))
+    if not eligible:
+        raise FinderError("no eligible seed cells (all cells fixed?)")
+    return draw_seeds(
+        netlist,
+        eligible,
+        config.num_seeds,
+        strategy=config.seed_strategy,
+        rng=ensure_rng(config.seed),
+    )
+
+
+def plan_seed_jobs(
+    netlist: Netlist, config: FinderConfig
+) -> List[Tuple[int, int]]:
+    """The ``(seed_cell, rng_seed)`` job list one :meth:`run` would execute.
+
+    Deterministic for a pinned ``config.seed``.  Exposed so incremental
+    detection can re-plan the jobs on an edited netlist and match them
+    index-by-index against a recorded trace.
+    """
+    seed_cells = _draw_seed_cells(netlist, config)
+    rng = ensure_rng(config.seed)
+    return [(cell, rng.randrange(2**63)) for cell in seed_cells]
+
+
+def _rescore(
+    netlist: Netlist, config: FinderConfig, candidate: CandidateGTL, rent: float
+) -> CandidateGTL:
+    context = ScoreContext.for_netlist(netlist, rent, metric=config.metric)
+    stats = candidate.stats
+    return CandidateGTL(
+        cells=candidate.cells,
+        score=context.score(stats),
+        stats=stats,
+        rent_exponent=rent,
+        seed=candidate.seed,
+    )
+
+
+def _to_gtl(netlist: Netlist, candidate: CandidateGTL) -> GTL:
+    # The candidate comes out of _rescore, whose stats already describe
+    # exactly candidate.cells — no need to recompute them per kept group.
+    stats = candidate.stats
+    rent = candidate.rent_exponent
+    ngtl = ScoreContext.for_netlist(netlist, rent, metric="ngtl_s")
+    gtl_sd = ScoreContext.for_netlist(netlist, rent, metric="gtl_sd")
+    return GTL(
+        cells=candidate.cells,
+        size=stats.size,
+        cut=stats.cut,
+        ngtl_score=ngtl.score(stats),
+        gtl_sd_score=gtl_sd.score(stats),
+        score=candidate.score,
+        seed=candidate.seed,
+        rent_exponent=rent,
+    )
+
+
+def reduce_outcomes(
+    netlist: Netlist, config: FinderConfig, outcomes: Sequence[_SeedOutcome]
+) -> Tuple[Tuple[GTL, ...], float, int, int, bool]:
+    """The finder's reduce step over per-seed outcomes.
+
+    Returns ``(gtls, global_rent, num_candidates, num_orderings,
+    rent_fallback)``.  Pure in its inputs: incremental detection replays it
+    over a merge of reused and recomputed outcomes and obtains the same
+    report a cold run would.
+    """
+    with trace.span("finder.reduce"):
+        candidates = [c for c, _, _, _ in outcomes if c is not None]
+        rents = [p for _, p, _, _ in outcomes if math.isfinite(p)]
+        orderings = sum(n for _, _, n, _ in outcomes)
+        rent_fallback = not rents
+        if rent_fallback:
+            global_rent = DEFAULT_RENT_EXPONENT
+            logger.warning(
+                "no ordering yielded a usable Rent estimate; assuming "
+                "default exponent p=%.2f",
+                DEFAULT_RENT_EXPONENT,
+            )
+        else:
+            global_rent = sum(rents) / len(rents)
+
+        rescored = [_rescore(netlist, config, c, global_rent) for c in candidates]
+        kept = prune_overlapping(rescored, netlist=netlist)
+        gtls = tuple(_to_gtl(netlist, c) for c in kept)
+    return gtls, global_rent, len(candidates), orderings, rent_fallback
 
 
 class TangledLogicFinder:
@@ -132,6 +238,10 @@ class TangledLogicFinder:
             raise FinderError("netlist too small for GTL detection")
         self.netlist = netlist
         self.config = config or FinderConfig()
+        #: Jobs and per-seed outcomes of the most recent :meth:`run` —
+        #: the raw material of a :class:`repro.incremental.engine.SeedTrace`.
+        self.last_jobs: List[Tuple[int, int]] = []
+        self.last_outcomes: List[_SeedOutcome] = []
 
     # ------------------------------------------------------------------
     def run(
@@ -153,9 +263,7 @@ class TangledLogicFinder:
         with Timer() as timer, trace.span(
             "finder.run", seeds=config.num_seeds
         ):
-            seed_cells = self._draw_seed_cells()
-            rng = ensure_rng(config.seed)
-            jobs = [(cell, rng.randrange(2**63)) for cell in seed_cells]
+            jobs = plan_seed_jobs(self.netlist, config)
 
             if pool is not None:
                 outcomes = pool.run_seed_jobs(
@@ -166,54 +274,23 @@ class TangledLogicFinder:
             else:
                 outcomes = _process_batch(self.netlist, config, jobs)
 
-            with trace.span("finder.reduce"):
-                candidates = [c for c, _, _ in outcomes if c is not None]
-                rents = [p for _, p, _ in outcomes if math.isfinite(p)]
-                orderings = sum(n for _, _, n in outcomes)
-                rent_fallback = not rents
-                if rent_fallback:
-                    global_rent = DEFAULT_RENT_EXPONENT
-                    logger.warning(
-                        "no ordering yielded a usable Rent estimate; assuming "
-                        "default exponent p=%.2f",
-                        DEFAULT_RENT_EXPONENT,
-                    )
-                else:
-                    global_rent = sum(rents) / len(rents)
-
-                rescored = [self._rescore(c, global_rent) for c in candidates]
-                kept = prune_overlapping(rescored, netlist=self.netlist)
-                gtls = tuple(self._to_gtl(c) for c in kept)
+            self.last_jobs = list(jobs)
+            self.last_outcomes = list(outcomes)
+            gtls, global_rent, num_candidates, orderings, rent_fallback = (
+                reduce_outcomes(self.netlist, config, outcomes)
+            )
 
         return FinderReport(
             gtls=gtls,
             config=config,
             rent_exponent=global_rent,
             num_orderings=orderings,
-            num_candidates=len(candidates),
+            num_candidates=num_candidates,
             runtime_seconds=timer.elapsed,
             rent_fallback=rent_fallback,
         )
 
     # ------------------------------------------------------------------
-    def _draw_seed_cells(self) -> List[int]:
-        from repro.finder.seeding import draw_seeds
-
-        config = self.config
-        if config.exclude_fixed:
-            eligible = self.netlist.movable_cells()
-        else:
-            eligible = list(range(self.netlist.num_cells))
-        if not eligible:
-            raise FinderError("no eligible seed cells (all cells fixed?)")
-        return draw_seeds(
-            self.netlist,
-            eligible,
-            config.num_seeds,
-            strategy=config.seed_strategy,
-            rng=ensure_rng(config.seed),
-        )
-
     def _run_parallel(self, jobs: List[Tuple[int, int]]) -> List[_SeedOutcome]:
         """One-shot parallel run on an ephemeral service pool.
 
@@ -227,37 +304,6 @@ class TangledLogicFinder:
             return pool.run_seed_jobs(
                 self.netlist, self.config, jobs, key="single-run"
             )
-
-    def _rescore(self, candidate: CandidateGTL, rent: float) -> CandidateGTL:
-        context = ScoreContext.for_netlist(
-            self.netlist, rent, metric=self.config.metric
-        )
-        stats = candidate.stats
-        return CandidateGTL(
-            cells=candidate.cells,
-            score=context.score(stats),
-            stats=stats,
-            rent_exponent=rent,
-            seed=candidate.seed,
-        )
-
-    def _to_gtl(self, candidate: CandidateGTL) -> GTL:
-        # The candidate comes out of _rescore, whose stats already describe
-        # exactly candidate.cells — no need to recompute them per kept group.
-        stats = candidate.stats
-        rent = candidate.rent_exponent
-        ngtl = ScoreContext.for_netlist(self.netlist, rent, metric="ngtl_s")
-        gtl_sd = ScoreContext.for_netlist(self.netlist, rent, metric="gtl_sd")
-        return GTL(
-            cells=candidate.cells,
-            size=stats.size,
-            cut=stats.cut,
-            ngtl_score=ngtl.score(stats),
-            gtl_sd_score=gtl_sd.score(stats),
-            score=candidate.score,
-            seed=candidate.seed,
-            rent_exponent=rent,
-        )
 
 
 def find_tangled_logic(

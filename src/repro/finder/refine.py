@@ -87,6 +87,7 @@ def refine_candidate(
     rent_exponent: float,
     rng: RngLike = None,
     backend: Optional[str] = None,
+    touched: Optional[Set[int]] = None,
 ) -> CandidateGTL:
     """Refine one candidate; returns the best family member as a candidate.
 
@@ -100,6 +101,10 @@ def refine_candidate(
         rng: randomness for the interior re-seeds.
         backend: array kernel or scalar reference for the re-grown
             orderings, family scoring and connectivity checks.
+        touched: when given, every cell absorbed by a re-grown ordering is
+            added to this set — the caller's footprint accounting (family
+            members are subsets of the orderings, so the orderings alone
+            bound the refinement's read-set).
     """
     generator = ensure_rng(rng)
     context = ScoreContext.for_netlist(netlist, rent_exponent, metric=config.metric)
@@ -126,6 +131,8 @@ def refine_candidate(
             exclude_fixed=config.exclude_fixed,
             backend=backend,
         )
+        if touched is not None:
+            touched.update(ordering)
         regrown = extract_candidate(
             netlist,
             ordering,

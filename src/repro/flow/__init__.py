@@ -46,6 +46,7 @@ from repro.flow.stages import (
     CongestionConfig,
     CongestionStage,
     DetectStage,
+    IncrementalDetectStage,
     PartitionConfig,
     PartitionStage,
     PlaceConfig,
@@ -73,6 +74,7 @@ __all__ = [
     "decode_artifact",
     "BUILTIN_STAGES",
     "DetectStage",
+    "IncrementalDetectStage",
     "PartitionConfig",
     "PartitionStage",
     "PlaceConfig",

@@ -20,6 +20,9 @@ class FlowContext:
             when set but report results against ``netlist``.
         pool: optional shared :class:`~repro.service.pool.WorkerPool` for
             stages with internal parallelism (detection seed trials).
+        store: the :class:`~repro.service.store.ResultStore` the flow runs
+            against (``None`` when caching is off).  Stages with their own
+            reuse machinery (incremental detection) read it directly.
         results: :class:`~repro.flow.stage.StageResult` of every stage run
             so far, in declaration order.
         current_fingerprint: fingerprint of the stage being computed right
@@ -29,6 +32,7 @@ class FlowContext:
     netlist: Netlist
     solve_netlist: Optional[Netlist] = None
     pool: Optional[Any] = None
+    store: Optional[Any] = None
     results: List[Any] = field(default_factory=list)
     current_fingerprint: str = ""
 

@@ -136,7 +136,9 @@ class Flow:
                 stages with internal parallelism.
             progress: callback invoked after every finished stage.
         """
-        ctx = FlowContext(netlist=netlist, pool=pool)
+        ctx = FlowContext(
+            netlist=netlist, pool=pool, store=store if use_cache else None
+        )
         design_fingerprint = fingerprint_netlist(netlist)
         chain: List[str] = [design_fingerprint]
         chain_deterministic = True

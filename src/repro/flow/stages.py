@@ -90,6 +90,61 @@ class DetectStage(Stage):
         return report.num_gtls
 
 
+class IncrementalDetectStage(DetectStage):
+    """Detection that patches a prior run instead of recomputing it.
+
+    Behaves exactly like :class:`DetectStage` (same artifact kind, same
+    parity-guaranteed report — see :mod:`repro.incremental.engine`), but
+    routes execution through :func:`repro.incremental.detect_with_reuse`:
+    when the flow's result store holds a traced base run under this
+    config, only the seeds the netlist edit could have influenced are
+    re-run.  ``halo`` and ``full_threshold`` tune reuse, not results, so
+    they stay outside the stage fingerprint; without a store (or an
+    unpinned seed) it degrades to a plain full detection.
+    """
+
+    name = "incremental_detect"
+
+    def __init__(self, config=None, *, halo: int = 0,
+                 full_threshold: Optional[float] = None, **overrides):
+        from repro.incremental.engine import DEFAULT_FULL_THRESHOLD
+
+        super().__init__(config, **overrides)
+        self.halo = int(halo)
+        self.full_threshold = (
+            DEFAULT_FULL_THRESHOLD if full_threshold is None
+            else float(full_threshold)
+        )
+        self._last_incremental = None
+
+    def compute(self, ctx):
+        from repro.incremental.engine import detect_with_reuse
+
+        if ctx.store is None:
+            return super().compute(ctx)
+        result = detect_with_reuse(
+            ctx.netlist,
+            self.config,
+            ctx.store,
+            halo=self.halo,
+            full_threshold=self.full_threshold,
+            pool=ctx.pool,
+            pool_key=ctx.current_fingerprint,
+        )
+        self._last_incremental = result
+        return result.report
+
+    def metadata(self, report) -> Dict[str, object]:
+        data = super().metadata(report)
+        last = self._last_incremental
+        if last is not None and last.report is report:
+            data["incremental_mode"] = last.mode
+            data["seeds_recomputed"] = last.seeds_recomputed
+            data["seeds_total"] = last.seeds_total
+            data["dirty_cells"] = last.dirty_cells
+        return data
+
+
 # ----------------------------------------------------------------------
 # Partitioning
 # ----------------------------------------------------------------------
@@ -381,6 +436,7 @@ class ResynthesisStage(Stage):
 #: Manifest stage-name registry (see :mod:`repro.flow.manifest`).
 BUILTIN_STAGES = {
     DetectStage.name: DetectStage,
+    IncrementalDetectStage.name: IncrementalDetectStage,
     PartitionStage.name: PartitionStage,
     PlaceStage.name: PlaceStage,
     CongestionStage.name: CongestionStage,
@@ -390,6 +446,7 @@ BUILTIN_STAGES = {
 
 __all__ = [
     "DetectStage",
+    "IncrementalDetectStage",
     "PartitionConfig",
     "PartitionStage",
     "PlaceConfig",

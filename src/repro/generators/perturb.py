@@ -2,55 +2,125 @@
 
 The finder's claims should survive netlist noise — ECO edits, slightly
 different synthesis runs, or measurement error in the model.  This module
-rewires a controlled fraction of pins to random cells, preserving sizes
-and degrees-in-expectation, so robustness can be swept against noise rate
-(``bench_robustness``).
+moves a controlled fraction of pins to random cells under a *moving-pin*
+model: a rewired (net, slot) incidence detaches from its cell and
+reattaches to a random movable target, carrying its pin with it (explicit
+pin counts drop by one on the source and rise by one on the target).  Net
+count, net degrees, cell count and the total pin count are all preserved
+exactly, so perturbed netlists stay comparable across noise rates
+(``bench_robustness``) and remain eligible for incremental re-detection
+(the density-aware score exponent depends on total pins; see
+:mod:`repro.incremental.engine`).
+
+With ``return_delta=True`` the emitted :class:`NetlistDelta` is exactly
+``diff(base, perturbed)`` — perturbation doubles as the delta-generator
+fixture for incremental tests.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple, Union
 
 from repro.errors import GenerationError
+from repro.incremental.delta import CellEdit, NetEdit, NetlistDelta
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.hypergraph import Netlist
 from repro.utils.rng import RngLike, ensure_rng
 
 
 def rewire_pins(
-    netlist: Netlist, fraction: float, rng: RngLike = None
-) -> Netlist:
-    """Rewire ``fraction`` of all pin incidences to uniformly random cells.
+    netlist: Netlist,
+    fraction: float,
+    rng: RngLike = None,
+    return_delta: bool = False,
+) -> Union[Netlist, Tuple[Netlist, NetlistDelta]]:
+    """Move ``fraction`` of all pin incidences to uniformly random cells.
 
-    Each selected (net, pin) incidence is reattached to a random cell
-    (fixed cells excluded as targets).  Net count, net degrees and cell
-    count are preserved; nets degenerating to a single distinct cell are
-    kept (and dropped at build time if singleton).
+    Each selected (net, slot) incidence is reattached to a random movable
+    cell; moves that would duplicate a member already on the net (or land
+    back on the source) are skipped, so net degrees are preserved exactly
+    — not just in expectation — and the total pin count is invariant.
 
     Args:
         netlist: the design to perturb.
         fraction: pin rewire probability in [0, 1].
-        rng: seed for reproducibility.
+        rng: seed for reproducibility (same seed -> identical netlist and
+            identical delta).
+        return_delta: also return the :class:`NetlistDelta` of the edit,
+            structurally equal to ``diff(netlist, result)``.
+
+    Returns:
+        The perturbed netlist, or ``(netlist, delta)`` when
+        ``return_delta`` is set.  ``fraction=0`` returns the input netlist
+        unchanged (same object) without rebuilding.
     """
     if not 0 <= fraction <= 1:
         raise GenerationError("fraction must be in [0, 1]")
+    if fraction == 0:
+        return (netlist, NetlistDelta()) if return_delta else netlist
     generator = ensure_rng(rng)
     targets = netlist.movable_cells() or list(range(netlist.num_cells))
 
+    # Pin movement per cell (source -1 / target +1 per moved slot) and the
+    # post-edit membership of every net, base order preserved.
+    movement: Dict[int, int] = {}
+    new_members: List[List[int]] = []
+    changed_nets: List[int] = []
+    for net in range(netlist.num_nets):
+        members = list(netlist.cells_of_net(net))
+        on_net = set(members)
+        changed = False
+        for slot, cell in enumerate(members):
+            if generator.random() >= fraction:
+                continue
+            target = generator.choice(targets)
+            if target == cell or target in on_net:
+                continue  # degree-preserving: never duplicate a member
+            members[slot] = target
+            on_net.discard(cell)
+            on_net.add(target)
+            movement[cell] = movement.get(cell, 0) - 1
+            movement[target] = movement.get(target, 0) + 1
+            changed = True
+        new_members.append(members)
+        if changed:
+            changed_nets.append(net)
+
     builder = NetlistBuilder()
     for cell in range(netlist.num_cells):
-        view = netlist.cell(cell)
         builder.add_cell(
-            name=view.name, area=view.area, pin_count=None, fixed=view.fixed
+            name=netlist.cell_name(cell),
+            area=netlist.cell_area(cell),
+            pin_count=netlist.cell_pin_count(cell) + movement.get(cell, 0),
+            fixed=netlist.cell_is_fixed(cell),
         )
     for net in range(netlist.num_nets):
-        members: List[int] = []
-        for cell in netlist.cells_of_net(net):
-            if generator.random() < fraction:
-                members.append(generator.choice(targets))
-            else:
-                members.append(cell)
-        distinct = list(dict.fromkeys(members))
-        if distinct:
-            builder.add_net(netlist.net_name(net), distinct)
-    return builder.build(drop_singleton_nets=True)
+        builder.add_net(netlist.net_name(net), new_members[net])
+    perturbed = builder.build(drop_singleton_nets=False)
+    if not return_delta:
+        return perturbed
+
+    cells_changed = tuple(
+        CellEdit(
+            name=netlist.cell_name(cell),
+            area=netlist.cell_area(cell),
+            pin_count=netlist.cell_pin_count(cell) + shift,
+            fixed=netlist.cell_is_fixed(cell),
+        )
+        for cell, shift in sorted(movement.items())
+        if shift != 0
+    )
+    nets_changed = tuple(
+        NetEdit(
+            name=netlist.net_name(net),
+            old_members=tuple(
+                netlist.cell_name(c) for c in netlist.cells_of_net(net)
+            ),
+            new_members=tuple(
+                netlist.cell_name(c) for c in new_members[net]
+            ),
+        )
+        for net in changed_nets
+    )
+    delta = NetlistDelta(cells_changed=cells_changed, nets_changed=nets_changed)
+    return perturbed, delta

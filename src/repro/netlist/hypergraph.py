@@ -160,6 +160,11 @@ class Netlist:
         for index in range(self.num_cells):
             yield self.cell(index)
 
+    @property
+    def cell_names(self) -> Tuple[str, ...]:
+        """All cell names in index order (one tuple, no per-cell calls)."""
+        return self._cell_names
+
     def cell_name(self, index: int) -> str:
         """Name of cell ``index``."""
         return self._cell_names[index]
@@ -210,6 +215,11 @@ class Netlist:
         """Iterate over all nets as read-only views."""
         for index in range(self.num_nets):
             yield self.net(index)
+
+    @property
+    def net_names(self) -> Tuple[str, ...]:
+        """All net names in index order (one tuple, no per-net calls)."""
+        return self._net_names
 
     def net_name(self, index: int) -> str:
         """Name of net ``index``."""

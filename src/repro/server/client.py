@@ -123,6 +123,7 @@ class Client:
         label: str = "",
         wait: bool = True,
         on_event: Optional[EventCallback] = None,
+        delta: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Submit one job; stream it to completion unless ``wait=False``.
 
@@ -130,6 +131,12 @@ class Client:
         the ``queued``/``result`` acknowledgement (``wait=False`` — warm
         submits complete inline, so even a no-wait call may come back with
         the full result).
+
+        ``delta`` (protocol 2, detect only) is a
+        :meth:`repro.incremental.NetlistDelta.to_dict` payload; ``design``
+        then names the *base* design and the daemon reconstructs the
+        edited netlist server-side — the edit travels as JSON, the design
+        is never re-shipped.
         """
         request: Dict[str, Any] = {
             "op": "submit",
@@ -144,6 +151,10 @@ class Client:
             request["config"] = config
         if stages is not None:
             request["stages"] = stages
+        if delta is not None:
+            if kind != "detect":
+                raise ServerError('delta submits must have kind "detect"')
+            request["delta"] = delta
 
         attempts = 0
         while True:

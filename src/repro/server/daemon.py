@@ -62,7 +62,6 @@ from repro.service.fingerprint import (
     job_fingerprint,
     stage_fingerprint,
 )
-from repro.service.jobs import BatchRunner, DetectionJob
 from repro.service.pool import WorkerPool
 from repro.service.store import ResultStore
 
@@ -275,7 +274,6 @@ class ServerDaemon:
             starvation_limit=config.starvation_limit,
             retry_after_s=config.retry_after_s,
         )
-        self.runner = BatchRunner(store=self.store, use_cache=True, pool=self.pool)
         self.started_at = time.time()
         self.counters: Dict[str, int] = {
             "requests": 0,
@@ -538,11 +536,32 @@ class ServerDaemon:
         label = request.get("label") or os.path.basename(design)
         netlist, design_fp = self.designs.get(design)
 
+        delta_data = request.get("delta")
+        if delta_data is not None and kind != "detect":
+            raise ServerError('"delta" submits must have kind "detect"')
+
         if kind == "detect":
             config_data = request.get("config", {})
             if not isinstance(config_data, dict):
                 raise ServerError('submit "config" must be a JSON object')
             config = config_from_dict(config_data)
+            delta = None
+            base_netlist = None
+            if delta_data is not None:
+                # Delta submit: "design" is the (usually warm) base; the
+                # edited netlist is reconstructed daemon-side so the client
+                # ships a few KB of JSON instead of the whole design.
+                from repro.incremental import NetlistDelta, apply_delta
+
+                if not isinstance(delta_data, dict):
+                    raise ServerError('submit "delta" must be a JSON object')
+                try:
+                    delta = NetlistDelta.from_dict(delta_data)
+                except ReproError as error:
+                    raise ServerError(f"bad delta payload: {error}") from error
+                base_netlist = netlist
+                netlist = apply_delta(base_netlist, delta)
+                design_fp = fingerprint_netlist(netlist)
             fingerprint = job_fingerprint(
                 netlist, config, netlist_fingerprint=design_fp
             )
@@ -554,6 +573,8 @@ class ServerDaemon:
                 fingerprint=fingerprint,
             )
             record.context = (netlist, config)  # type: ignore[attr-defined]
+            if delta is not None:
+                record.delta_context = (base_netlist, delta)  # type: ignore[attr-defined]
             return record
 
         stages_data = request.get("stages")
@@ -685,20 +706,7 @@ class ServerDaemon:
 
     def _execute(self, record: JobRecord) -> Dict[str, Any]:
         if record.kind == "detect":
-            netlist, config = record.context  # type: ignore[attr-defined]
-            job = DetectionJob(netlist=netlist, config=config, label=record.label)
-            job.__dict__["fingerprint"] = record.fingerprint
-            result = self.runner.run_one(job)
-            if not result.ok:
-                raise ServerError(result.error or "detection failed")
-            record.cached = result.cached
-            return {
-                "report": report_to_dict(result.report),
-                "fingerprint": record.fingerprint,
-                "cached": result.cached,
-                "runtime_seconds": result.runtime_seconds,
-                "attempts": result.attempts,
-            }
+            return self._execute_detect(record)
         netlist, flow, _ = record.context  # type: ignore[attr-defined]
         outcome = flow.run(
             netlist,
@@ -719,6 +727,43 @@ class ServerDaemon:
             "cached": outcome.all_cached,
             "runtime_seconds": outcome.runtime_seconds,
         }
+
+    def _execute_detect(self, record: JobRecord) -> Dict[str, Any]:
+        """Run one detect job through the incremental engine.
+
+        Every deterministic detection persists its seed trace and advances
+        the per-config head pointer, so a later delta submit (or a plain
+        submit of an edited design) is answered by patching instead of
+        recomputing.  Delta submits carry their base netlist explicitly;
+        plain submits fall back to the head pointer.
+        """
+        from repro.incremental import detect_with_reuse
+
+        netlist, config = record.context  # type: ignore[attr-defined]
+        base_netlist, delta = getattr(record, "delta_context", (None, None))
+        try:
+            result = detect_with_reuse(
+                netlist,
+                config,
+                self.store,
+                base=base_netlist,
+                delta=delta,
+                pool=self.pool,
+                pool_key=record.fingerprint,
+            )
+        except ReproError as error:
+            raise ServerError(str(error)) from error
+        record.cached = result.mode == "cached"
+        payload = {
+            "report": report_to_dict(result.report),
+            "fingerprint": record.fingerprint,
+            "cached": record.cached,
+            "runtime_seconds": result.report.runtime_seconds,
+            "attempts": 0 if record.cached else 1,
+        }
+        if result.mode != "cached":
+            payload["incremental"] = result.provenance()
+        return payload
 
 
 __all__ = ["DEFAULT_SOCKET", "DesignCache", "ServerConfig", "ServerDaemon"]

@@ -14,6 +14,8 @@ Requests (``op`` selects the operation)::
      "label": "a", "stream": true}
     {"op": "submit", "kind": "flow", "design": "/abs/path.hgr",
      "stages": [{"stage": "detect", "seed": 1}, {"stage": "partition"}]}
+    {"op": "submit", "kind": "detect", "design": "/abs/base.nla",
+     "delta": {...NetlistDelta.to_dict() form...}, "config": {...}}
     {"op": "status"}                  # server-level stats
     {"op": "status", "job_id": "..."} # one job's lifecycle record
     {"op": "result", "job_id": "..."} # terminal payload of a finished job
@@ -34,6 +36,15 @@ Responses always carry ``"ok"`` (bool) and ``"event"`` (str).  Events:
 Requests are content-addressed: a ``submit`` whose fingerprint is already
 in the daemon's result store is answered inline with a ``result`` event
 (``cached: true``) without ever entering the queue.
+
+Delta submits (protocol 2): a detect ``submit`` may carry a ``"delta"``
+object (:meth:`repro.incremental.NetlistDelta.to_dict` form).  ``design``
+then names the *base* design — typically already warm in the daemon's
+design cache — and the daemon applies the delta server-side, so an edit
+is shipped as a few KB of JSON instead of the whole netlist.  Delta jobs
+run through incremental detection (dirty-region seed reuse, see
+:mod:`repro.incremental.engine`); the ``result`` payload additionally
+carries ``incremental`` provenance (mode, seeds recomputed, dirty cells).
 """
 
 from __future__ import annotations
@@ -45,7 +56,8 @@ from typing import Any, BinaryIO, Dict, Optional
 from repro.errors import ServerError
 
 #: Protocol version, exchanged in ``ping`` so client/daemon skew is visible.
-PROTOCOL_VERSION = 1
+#: Version 2 adds delta submits (``submit`` with a ``"delta"`` object).
+PROTOCOL_VERSION = 2
 
 #: Hard per-line bound (requests and responses); a 100K-cell report is
 #: ~10 MB of JSON, so this leaves generous headroom while still bounding a

@@ -388,6 +388,20 @@ class ResultStore:
                 )
             )
 
+    def kind_counts(self) -> Dict[str, int]:
+        """Row count and saved runtime per artifact kind.
+
+        Returns ``{kind: count}``, descending by count — the ``repro cache
+        stats`` maintenance view.
+        """
+        self._require_open()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT kind, COUNT(*) FROM results "
+                "GROUP BY kind ORDER BY COUNT(*) DESC"
+            ).fetchall()
+        return {str(kind): int(count) for kind, count in rows}
+
     def __len__(self) -> int:
         self._require_open()
         with self._lock:

@@ -199,3 +199,53 @@ def test_cli_reports_repro_errors(tmp_path, capsys):
     code = main(["find-gtl", str(bad)])
     assert code == 2
     assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# diff / detect / cache (incremental detection surface)
+# ----------------------------------------------------------------------
+def test_cli_diff_detect_cache_roundtrip(tmp_path, capsys):
+    import json
+
+    from repro.generators.perturb import rewire_pins
+    from repro.io import load_design
+
+    netlist, _ = planted_gtl_graph(800, [60], seed=5)
+    base_path = str(tmp_path / "base.hgr")
+    write_hgr(netlist, base_path)
+    base = load_design(base_path)
+    edited_path = str(tmp_path / "edited.hgr")
+    write_hgr(rewire_pins(base, 0.001, rng=1), edited_path)
+
+    delta_json = str(tmp_path / "delta.json")
+    assert main(["diff", base_path, edited_path, "--json", delta_json]) == 0
+    out = capsys.readouterr().out
+    assert "delta:" in out and "delta fingerprint:" in out
+    with open(delta_json) as handle:
+        assert json.load(handle)["version"] == 1
+
+    cache = str(tmp_path / "cache")
+    common = ["--seeds", "6", "--seed", "3", "--max-order-length", "20",
+              "--cache-dir", cache]
+    assert main(["detect", base_path] + common) == 0
+    assert "full recompute" in capsys.readouterr().out
+    assert main(["detect", base_path] + common) == 0
+    assert "cached" in capsys.readouterr().out
+    assert main(["detect", edited_path, "--base", base_path] + common) == 0
+    out = capsys.readouterr().out
+    assert "incremental:" in out and "seed(s) re-run" in out
+    assert "base fingerprint:" in out
+
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "finder_trace" in out and "incremental_head" in out
+    assert main(["cache", "prune", "--keep", "1", "--cache-dir", cache]) == 0
+    assert "pruned" in capsys.readouterr().out
+
+
+def test_cli_diff_identical_designs(tmp_path, capsys):
+    netlist, _ = planted_gtl_graph(300, [40], seed=2)
+    path = str(tmp_path / "same.hgr")
+    write_hgr(netlist, path)
+    assert main(["diff", path, path]) == 0
+    assert "netlists identical" in capsys.readouterr().out

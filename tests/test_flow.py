@@ -432,3 +432,45 @@ def test_flow_detect_matches_plain_finder(small):
 
     netlist, _ = small
     assert detect(netlist, CFG, cache_dir="").gtls == find_tangled_logic(netlist, CFG).gtls
+
+
+# ----------------------------------------------------------------------
+# Incremental detection stage
+# ----------------------------------------------------------------------
+def test_incremental_detect_stage_patches_across_edits(small, tmp_path):
+    from repro.flow import IncrementalDetectStage
+    from repro.generators.perturb import rewire_pins
+    from repro.service.codec import report_to_dict
+
+    netlist, _ = small
+    cfg = FinderConfig(num_seeds=6, seed=3, max_order_length=20)
+    with ResultStore(str(tmp_path)) as store:
+        first = Flow([IncrementalDetectStage(cfg)]).run(netlist, store=store)
+        result = first["incremental_detect"]
+        assert result.metadata["incremental_mode"] == "full"
+        assert result.metadata["seeds_recomputed"] == cfg.num_seeds
+
+        edited = rewire_pins(netlist, 0.001, rng=1)
+        second = Flow([IncrementalDetectStage(cfg)]).run(edited, store=store)
+        meta = second["incremental_detect"].metadata
+        assert meta["incremental_mode"] == "incremental"
+        assert 0 < meta["seeds_recomputed"] < meta["seeds_total"]
+        assert meta["dirty_cells"] > 0
+
+        # Parity: the patched stage artifact equals a cold detection.
+        cold = report_to_dict(find_tangled_logic(edited, cfg))
+        patched = report_to_dict(second["incremental_detect"].artifact)
+        cold.pop("runtime_seconds")
+        patched.pop("runtime_seconds")
+        assert patched == cold
+
+
+def test_incremental_detect_stage_without_store_runs_full(small):
+    from repro.flow import IncrementalDetectStage
+
+    netlist, _ = small
+    cfg = FinderConfig(num_seeds=4, seed=3, max_order_length=20)
+    result = Flow([IncrementalDetectStage(cfg)]).run(netlist)
+    report = result["incremental_detect"].artifact
+    assert report.num_gtls >= 0  # plain DetectStage behaviour, no store
+    assert "incremental_mode" not in result["incremental_detect"].metadata

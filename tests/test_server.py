@@ -519,3 +519,68 @@ def test_cli_status_shutdown(corpus, daemon_factory, capsys):
                  "--shutdown"]) == 0
     assert "shutdown requested" in capsys.readouterr().out
     assert daemon.wait_until_stopped(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Delta submits (protocol 2)
+# ----------------------------------------------------------------------
+#: Small explicit order length so a localized edit leaves most seed
+#: footprints clean (see repro.incremental) — the regime delta submits
+#: are built for.
+DELTA_CFG = {"num_seeds": 6, "seed": 3, "max_order_length": 20}
+
+
+def test_daemon_delta_submit_end_to_end(corpus, daemon_factory):
+    """Edit travels as JSON; the design is never re-shipped or re-read."""
+    from repro.generators.perturb import rewire_pins
+    from repro.service.fingerprint import job_fingerprint
+
+    daemon, client = daemon_factory()
+    path, netlist = corpus["a"]
+    base = client.submit(path, config=DELTA_CFG, priority="interactive")
+    assert base["incremental"]["mode"] == "full"
+
+    edited, delta = rewire_pins(netlist, 0.002, rng=1, return_delta=True)
+    misses_before = daemon.designs.stats.misses
+    patched = client.submit(
+        path, config=DELTA_CFG, delta=delta.to_dict(), priority="interactive"
+    )
+    assert patched["event"] == "result" and patched["cached"] is False
+    assert patched["fingerprint"] == job_fingerprint(
+        edited, FinderConfig(**DELTA_CFG)
+    )
+    provenance = patched["incremental"]
+    assert provenance["mode"] == "incremental"
+    assert provenance["base_fingerprint"] == fingerprint_netlist(netlist)
+    assert 0 < provenance["seeds_recomputed"] < provenance["seeds_total"]
+    # The base design was answered from the warm cache, not re-loaded.
+    assert daemon.designs.stats.misses == misses_before
+
+    # Parity: the patched report equals an offline cold run on the edit.
+    offline = report_to_dict(
+        find_tangled_logic(edited, FinderConfig(**DELTA_CFG))
+    )
+    offline.pop("runtime_seconds")
+    served = dict(patched["report"])
+    served.pop("runtime_seconds")
+    assert served == offline
+
+    # Same delta again: answered from the result store, no recompute.
+    warm = client.submit(path, config=DELTA_CFG, delta=delta.to_dict())
+    assert warm["cached"] is True
+    assert "incremental" not in warm
+
+
+def test_daemon_delta_submit_validation(corpus, daemon_factory):
+    daemon, client = daemon_factory()
+    path, _ = corpus["a"]
+    with pytest.raises(ServerError, match='kind "detect"'):
+        client.submit(path, kind="flow", delta={"version": 1})
+    with pytest.raises(ServerError, match="bad delta payload"):
+        client.submit(path, config=DELTA_CFG, delta={"version": 999})
+    with pytest.raises(ServerError, match="delta"):
+        # Raw request with a non-dict delta (bypasses client validation).
+        client._roundtrip(
+            {"op": "submit", "kind": "detect", "design": path,
+             "delta": "not-a-dict"}
+        )
