@@ -10,7 +10,14 @@ Subcommands:
 * ``batch``        — run a manifest of detection jobs through the batch
   service (shared worker pool, persistent result cache).
 * ``sweep``        — expand a parameter grid over a set of designs,
-  deduplicate identical jobs, and run them through the batch service.
+  deduplicate identical jobs, and run them through the batch service;
+  ``--shards N`` splits the plan across parallel worker processes with
+  per-shard result stores (``--via-daemon`` dispatches the shards to a
+  running daemon as priority-class-``sweep`` jobs instead), and
+  ``--aggregate`` publishes per-axis/per-shard statistics as JSON.
+* ``store merge``  — fold result stores into one (e.g. per-shard sweep
+  stores into the main cache), reconciling rows by fingerprint, schema
+  revision and use-count.
 * ``flow run``     — execute a declared multi-stage flow manifest
   (detect / partition / place / congestion / soft_blocks / resynthesis)
   over one or more designs, with per-stage fingerprint caching.
@@ -39,6 +46,8 @@ Examples::
     tangled-logic experiment table1 --scale 0.1
     tangled-logic batch jobs.json --workers 4 --cache-dir .repro-cache
     tangled-logic sweep sweep.json --jsonl points.jsonl
+    tangled-logic sweep sweep.json --shards 4 --aggregate stats.json
+    tangled-logic store merge .repro-cache .repro-cache/shards/shard-*
     tangled-logic flow run flow.json --cache-dir .repro-cache --workers 4
     tangled-logic flow run flow.json --trace trace.jsonl --profile
     tangled-logic --log-level info batch jobs.json
@@ -360,11 +369,42 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return _run_service_command(args, execute)
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.errors import ServiceError
-    from repro.service.codec import report_to_dict
+def _sweep_table(outcome):
+    """Table headers + rows of one sweep outcome (sharded or not)."""
+    headers = [
+        "design", "point", "gtls", "best size", "best score", "rent p", "cache", "time",
+    ]
+    rows = []
+    for point, result in outcome.point_results():
+        overrides = ", ".join(f"{k}={v}" for k, v in point.overrides)
+        row = _report_row(point.design, result)
+        rows.append([row[0], overrides] + row[1:])
+    return headers, rows
+
+
+def _sweep_summary(outcome) -> str:
     from repro.service.jobs import summarize_results
-    from repro.service.sweep import run_sweep
+
+    return (
+        f"{len(outcome.plan.points)} grid point(s) -> "
+        f"{len(outcome.plan.jobs)} distinct job(s) "
+        f"({outcome.plan.num_deduplicated} deduplicated); "
+        + summarize_results(outcome.job_results)
+    )
+
+
+def _publish_aggregate(args: argparse.Namespace, outcome) -> None:
+    if not getattr(args, "aggregate", ""):
+        return
+    from repro.service.aggregate import aggregate_sweep, write_aggregate
+
+    write_aggregate(args.aggregate, aggregate_sweep(outcome))
+    print(f"wrote aggregate stats to {args.aggregate}")
+
+
+def _parse_sweep_manifest(args: argparse.Namespace):
+    """Load a sweep manifest: ``(designs, base, grid, design_paths)``."""
+    from repro.errors import ServiceError
     from repro.utils.jsonio import read_json_file
 
     manifest = read_json_file(args.manifest)
@@ -378,42 +418,98 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     base_dir = os.path.dirname(os.path.abspath(args.manifest))
 
     designs = []
+    design_paths = {}
     for index, design in enumerate(manifest["designs"]):
         if not isinstance(design, str):
             raise ServiceError(f'sweep manifest "designs" entry #{index} must be a string')
-        designs.append((design, _load_design(_resolve_design(design, base_dir))))
+        path = _resolve_design(design, base_dir)
+        designs.append((design, _load_design(path)))
+        design_paths[design] = path
+    return designs, base, manifest["grid"], design_paths
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.service.aggregate import point_rows
+    from repro.service.sweep import run_sweep
+
+    designs, base, grid, design_paths = _parse_sweep_manifest(args)
+    if args.shards > 1 or args.via_daemon:
+        return _cmd_sweep_sharded(args, designs, base, grid, design_paths)
 
     def execute(runner):
-        outcome = run_sweep(designs, base, manifest["grid"], runner)
-        headers = [
-            "design", "point", "gtls", "best size", "best score", "rent p", "cache", "time",
-        ]
-        rows = []
-        jsonl_rows = []
-        for point, result in outcome.point_results():
-            overrides = ", ".join(f"{k}={v}" for k, v in point.overrides)
-            row = _report_row(point.design, result)
-            rows.append([row[0], overrides] + row[1:])
-            jsonl_rows.append(
-                {
-                    "design": point.design,
-                    "overrides": point.overrides_dict(),
-                    "fingerprint": result.job.fingerprint,
-                    "cached": result.cached,
-                    "runtime_seconds": result.runtime_seconds,
-                    "error": result.error,
-                    "report": report_to_dict(result.report) if result.report else None,
-                }
-            )
-        summary = (
-            f"{len(outcome.plan.points)} grid point(s) -> "
-            f"{len(outcome.plan.jobs)} distinct job(s) "
-            f"({outcome.plan.num_deduplicated} deduplicated); "
-            + summarize_results(outcome.job_results)
+        outcome = run_sweep(designs, base, grid, runner)
+        headers, rows = _sweep_table(outcome)
+        _publish_aggregate(args, outcome)
+        return headers, rows, _sweep_summary(outcome), point_rows(outcome), (
+            outcome.job_results
         )
-        return headers, rows, summary, jsonl_rows, outcome.job_results
 
     return _run_service_command(args, execute)
+
+
+def _cmd_sweep_sharded(args, designs, base, grid, design_paths) -> int:
+    """The coordinator path of ``sweep``: ``--shards N`` / ``--via-daemon``."""
+    from repro.service.aggregate import point_rows
+    from repro.service.coordinator import SweepCoordinator
+    from repro.utils.jsonio import write_jsonl
+    from repro.utils.tables import format_table
+
+    def progress(event) -> None:
+        if event.kind == "shard-start":
+            print(f"[shard {event.shard_id}] started "
+                  f"({event.num_jobs} job(s))", file=sys.stderr)
+        elif event.kind == "shard-done":
+            status = f"FAILED: {event.error}" if event.error else "done"
+            print(f"[shard {event.shard_id}] {status} "
+                  f"({event.done_shards}/{event.total_shards} shard(s))",
+                  file=sys.stderr)
+
+    coordinator = SweepCoordinator(
+        num_shards=args.shards,
+        cache_dir=None if args.no_cache else (args.cache_dir or ".repro-cache"),
+        use_cache=not args.no_cache,
+        workers=args.workers,
+        max_shard_attempts=args.shard_attempts,
+        progress=None if args.quiet else progress,
+        daemon_socket=args.socket if args.via_daemon else None,
+    )
+    obs = _ObsSession(args, "cli.sweep")
+    with obs:
+        outcome = coordinator.run(designs, base, grid, design_paths=design_paths)
+
+    headers, rows = _sweep_table(outcome)
+    print(format_table(headers, rows))
+    print(_sweep_summary(outcome))
+    for stats in outcome.shard_stats:
+        status = "ok" if stats.ok else f"FAILED ({stats.error})"
+        print(f"shard {stats.shard_id}: {stats.num_jobs} job(s), "
+              f"{stats.attempts} attempt(s), {stats.wall_seconds:.2f}s, "
+              f"{stats.cache_hits} hit(s), {status}")
+    print(f"mode: {outcome.mode}, {outcome.wall_seconds:.2f}s wall"
+          + (f"; merged shard stores: {outcome.merge_stats.summary()}"
+             if outcome.merge_stats is not None else ""))
+    _publish_aggregate(args, outcome)
+    obs.emit()
+    if args.jsonl:
+        written = write_jsonl(args.jsonl, point_rows(outcome))
+        print(f"wrote {written} row(s) to {args.jsonl}")
+    return 0 if all(r.ok for r in outcome.job_results) else 1
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    from repro.service.store import MergeStats, ResultStore
+
+    totals = MergeStats()
+    with ResultStore(args.dest) as store:
+        before = len(store)
+        for source in args.sources:
+            stats = store.merge_from(source)
+            totals = totals.combined(stats)
+            print(f"{source}: {stats.summary()}")
+        after = len(store)
+    print(f"merged {len(args.sources)} store(s) into {args.dest}: "
+          f"{totals.summary()}; {before} -> {after} entr(ies)")
+    return 0
 
 
 def _cmd_flow_run(args: argparse.Namespace) -> int:
@@ -615,7 +711,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
         response = client.shutdown(drain=not args.no_drain)
         print(f"shutdown requested (drain={response.get('drain')})")
         return 0
-    status = client.status(args.job_id or None)
+    status = client.status(args.job_id or None, group=args.group)
     if args.json:
         print(_json.dumps(status, indent=2, sort_keys=True))
         return 0
@@ -634,9 +730,14 @@ def _cmd_status(args: argparse.Namespace) -> int:
     store = status["store"]
     print(f"daemon pid {status['pid']}, up {status['uptime_s']:.0f}s, "
           f"{status['workers']} worker(s)")
+    depths = queue.get("depths", {})
+    per_class = " ".join(
+        f"{name}={depths.get(name, 0)}"
+        for name in ("interactive", "batch", "sweep")
+    )
     print(
         f"queue: {queue['depth']}/{queue['max_depth']} queued "
-        f"{queue['depths']}, {queue['submitted']} submitted, "
+        f"({per_class}), {queue['submitted']} submitted, "
         f"{queue['rejected']} rejected, {queue['cancelled']} cancelled"
     )
     print(
@@ -656,10 +757,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
         f"{designs['hits']} hit(s), {designs['pack_loads']} pack load(s)"
     )
     if status["jobs"]:
-        print("recent jobs:")
-        for job in status["jobs"][:10]:
+        print(f"recent jobs{f' (group {args.group})' if args.group else ''}:")
+        for job in status["jobs"][:20 if args.group else 10]:
+            tag = f" [{job['group']}]" if job.get("group") else ""
             print(f"  {job['job_id']} {job['state']:9s} {job['priority']:11s} "
-                  f"{job['label']}")
+                  f"{job['label']}{tag}")
     return 0
 
 
@@ -847,6 +949,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--csv", default="", help="write figure series to CSV")
     exp.set_defaults(func=_cmd_experiment)
 
+    # Mirrors repro.server.daemon.DEFAULT_SOCKET without importing the
+    # server stack just to build the parser.
+    DEFAULT_SOCKET = "/tmp/repro-server.sock"
+
+    service_parsers = {}
     for name, func, help_text in (
         ("batch", _cmd_batch, "run a manifest of detection jobs via the service"),
         ("sweep", _cmd_sweep, "run a parameter sweep with job deduplication"),
@@ -864,6 +971,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="suppress per-job progress on stderr")
         _add_obs_args(svc)
         svc.set_defaults(func=func)
+        service_parsers[name] = svc
+
+    sweep_p = service_parsers["sweep"]
+    sweep_p.add_argument("--shards", type=int, default=1,
+                         help="split the deduplicated plan into N shards "
+                         "executed by parallel worker processes over "
+                         "per-shard stores (merged back afterwards)")
+    sweep_p.add_argument("--shard-attempts", type=int, default=2,
+                         help="dispatch attempts per shard before its jobs "
+                         "are reported failed")
+    sweep_p.add_argument("--via-daemon", action="store_true",
+                         help="dispatch shards as priority-class-sweep jobs "
+                         "to a running daemon instead of local processes")
+    sweep_p.add_argument("--socket", default=DEFAULT_SOCKET,
+                         help="daemon socket for --via-daemon")
+    sweep_p.add_argument("--aggregate", default="",
+                         help="write aggregate sweep stats (per-axis "
+                         "summaries, per-shard wall-clock) as JSON here")
+
+    store_p = sub.add_parser("store", help="result-store maintenance")
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="merge result stores row-by-row (e.g. shard stores into the "
+        "main store): new rows copied, identical rows' usage combined, "
+        "conflicts resolved by use-count then recency",
+    )
+    store_merge.add_argument("dest", help="destination cache directory")
+    store_merge.add_argument("sources", nargs="+",
+                             help="source cache directories (read-only)")
+    store_merge.set_defaults(func=_cmd_store_merge)
 
     flow = sub.add_parser("flow", help="declared multi-stage flows")
     flow_sub = flow.add_subparsers(dest="flow_command", required=True)
@@ -960,10 +1098,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pack.set_defaults(func=_cmd_pack)
 
-    # Mirrors repro.server.daemon.DEFAULT_SOCKET without importing the
-    # server stack just to build the parser.
-    DEFAULT_SOCKET = "/tmp/repro-server.sock"
-
     serve = sub.add_parser(
         "serve", help="start the long-lived detection daemon"
     )
@@ -1019,6 +1153,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="daemon socket to connect to")
     status.add_argument("--json", action="store_true",
                         help="print the raw status response as JSON")
+    status.add_argument("--group", default="",
+                        help="only list jobs of this job group "
+                        "(e.g. a sharded sweep's sweep/shard-3)")
     status.add_argument("--shutdown", action="store_true",
                         help="ask the daemon to drain and stop")
     status.add_argument("--no-drain", action="store_true",

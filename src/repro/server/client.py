@@ -94,11 +94,19 @@ class Client:
         """Liveness + version probe; raises when no daemon answers."""
         return self._roundtrip({"op": "ping"})
 
-    def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:
-        """Server-level stats, or one job's lifecycle record."""
+    def status(
+        self, job_id: Optional[str] = None, group: str = ""
+    ) -> Dict[str, Any]:
+        """Server-level stats, or one job's lifecycle record.
+
+        ``group`` filters the server-level ``jobs`` listing to one job
+        group (e.g. a sharded sweep's ``"sweep/shard-3"``).
+        """
         request: Dict[str, Any] = {"op": "status"}
         if job_id is not None:
             request["job_id"] = job_id
+        if group:
+            request["group"] = group
         return self._roundtrip(request)
 
     def result(self, job_id: str) -> Dict[str, Any]:
@@ -121,6 +129,7 @@ class Client:
         stages: Optional[List[Dict[str, Any]]] = None,
         priority: str = "batch",
         label: str = "",
+        group: str = "",
         wait: bool = True,
         on_event: Optional[EventCallback] = None,
         delta: Optional[Dict[str, Any]] = None,
@@ -147,6 +156,8 @@ class Client:
         }
         if label:
             request["label"] = label
+        if group:
+            request["group"] = group
         if config is not None:
             request["config"] = config
         if stages is not None:

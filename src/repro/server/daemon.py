@@ -427,6 +427,9 @@ class ServerDaemon:
             if record is None:
                 raise ServerError(f"unknown job id {request['job_id']!r}")
             return {"ok": True, "event": "status", "job": record.to_dict()}
+        group = request.get("group", "")
+        if not isinstance(group, str):
+            raise ServerError('status "group" must be a string')
         return {
             "ok": True,
             "event": "status",
@@ -444,7 +447,7 @@ class ServerDaemon:
             },
             "pool": dataclasses.asdict(self.pool.stats),
             "designs": self.designs.snapshot(),
-            "jobs": self.queue.jobs(limit=20),
+            "jobs": self.queue.jobs(limit=100 if group else 20, group=group),
         }
 
     def _handle_result(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -534,6 +537,9 @@ class ServerDaemon:
             raise ServerError('submit requires a string "design" path')
         priority = request.get("priority", DEFAULT_PRIORITY)
         label = request.get("label") or os.path.basename(design)
+        group = request.get("group", "")
+        if not isinstance(group, str):
+            raise ServerError('submit "group" must be a string')
         netlist, design_fp = self.designs.get(design)
 
         delta_data = request.get("delta")
@@ -571,6 +577,7 @@ class ServerDaemon:
                 request=request,
                 label=label,
                 fingerprint=fingerprint,
+                group=group,
             )
             record.context = (netlist, config)  # type: ignore[attr-defined]
             if delta is not None:
@@ -596,6 +603,7 @@ class ServerDaemon:
             request=request,
             label=label,
             fingerprint=chain[-1],
+            group=group,
         )
         record.context = (netlist, flow, chain[1:])  # type: ignore[attr-defined]
         return record

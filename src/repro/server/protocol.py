@@ -18,6 +18,7 @@ Requests (``op`` selects the operation)::
      "delta": {...NetlistDelta.to_dict() form...}, "config": {...}}
     {"op": "status"}                  # server-level stats
     {"op": "status", "job_id": "..."} # one job's lifecycle record
+    {"op": "status", "group": "..."}  # stats + only that group's jobs
     {"op": "result", "job_id": "..."} # terminal payload of a finished job
     {"op": "cancel", "job_id": "..."}
     {"op": "shutdown", "drain": true}
@@ -45,6 +46,13 @@ is shipped as a few KB of JSON instead of the whole netlist.  Delta jobs
 run through incremental detection (dirty-region seed reuse, see
 :mod:`repro.incremental.engine`); the ``result`` payload additionally
 carries ``incremental`` provenance (mode, seeds recomputed, dirty cells).
+
+Job groups (protocol 2, optional): a ``submit`` may carry a ``"group"``
+string tagging the job as part of a larger unit of work — e.g. one shard
+of a sharded sweep (``"sweep/shard-3"``).  A ``status`` request with a
+``"group"`` restricts its ``jobs`` listing to that group, so a queued
+sweep's shards are observable while they wait.  Absent fields keep the
+pre-group behaviour, so version 2 stays wire-compatible.
 """
 
 from __future__ import annotations

@@ -72,6 +72,9 @@ class JobRecord:
         kind: ``"detect"`` or ``"flow"``.
         priority: one of :data:`PRIORITIES`.
         label: caller-facing name (defaults to the design path).
+        group: caller-assigned job-group tag (e.g. one sharded sweep's
+            ``sweep/shard-3``); empty for ungrouped jobs.  Status queries
+            can filter the recent-jobs listing by it.
         request: the parsed submit request (design path, config, ...).
         state: current lifecycle state.
         fingerprint: content fingerprint, set once the design is loaded.
@@ -87,11 +90,13 @@ class JobRecord:
         request: Dict[str, Any],
         label: str = "",
         fingerprint: str = "",
+        group: str = "",
     ) -> None:
         self.job_id = uuid.uuid4().hex[:12]
         self.kind = kind
         self.priority = validate_priority(priority)
         self.label = label
+        self.group = group
         self.request = request
         self.fingerprint = fingerprint
         self.state = QUEUED
@@ -161,6 +166,7 @@ class JobRecord:
             "kind": self.kind,
             "priority": self.priority,
             "label": self.label,
+            "group": self.group,
             "state": self.state,
             "fingerprint": self.fingerprint,
             "cached": self.cached,
@@ -382,10 +388,13 @@ class JobQueue:
                 "closed": self._closed,
             }
 
-    def jobs(self, limit: int = 50) -> List[Dict[str, Any]]:
-        """Most recent job records (newest first)."""
+    def jobs(self, limit: int = 50, group: str = "") -> List[Dict[str, Any]]:
+        """Most recent job records (newest first); optionally one group's."""
         with self._condition:
-            recent = list(itertools.islice(reversed(self._records.values()), limit))
+            records = reversed(self._records.values())
+            if group:
+                records = (r for r in records if r.group == group)
+            recent = list(itertools.islice(records, limit))
         return [record.to_dict() for record in recent]
 
 

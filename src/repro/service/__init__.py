@@ -13,6 +13,13 @@ Turns the one-shot in-process finder into a batch service:
   the retrying, cache-consulting ``BatchRunner``.
 * :mod:`repro.service.sweep` — parameter-grid expansion with
   fingerprint-level job deduplication.
+* :mod:`repro.service.shard` — stable fingerprint-keyed partitioning of a
+  sweep plan into balanced shards.
+* :mod:`repro.service.coordinator` — sharded sweep dispatch: per-shard
+  worker processes over per-shard stores (or priority-class-``sweep``
+  daemon submits), retry/failure accounting, store merge-back.
+* :mod:`repro.service.aggregate` — sweep aggregation/publishing: canonical
+  per-point rows, per-axis summaries, per-shard wall-clock stats.
 
 The CLI's ``batch`` and ``sweep`` subcommands are thin wrappers over this
 package, and :meth:`repro.finder.TangledLogicFinder.run` delegates its
@@ -31,7 +38,7 @@ from repro.service.codec import (
     report_from_dict,
     report_to_dict,
 )
-from repro.service.store import CacheStats, ResultStore
+from repro.service.store import CacheStats, MergeStats, ResultStore
 from repro.service.pool import PoolStats, WorkerPool
 from repro.service.jobs import (
     BatchProgress,
@@ -48,6 +55,19 @@ from repro.service.sweep import (
     plan_sweep,
     run_sweep,
 )
+from repro.service.shard import SweepShard, partition_plan, shard_sort_key
+from repro.service.coordinator import (
+    ShardStats,
+    ShardedSweepOutcome,
+    SweepCoordinator,
+    run_sharded_sweep,
+)
+from repro.service.aggregate import (
+    SweepAggregate,
+    aggregate_sweep,
+    point_rows,
+    write_aggregate,
+)
 
 __all__ = [
     "fingerprint_netlist",
@@ -59,6 +79,7 @@ __all__ = [
     "report_from_dict",
     "ResultStore",
     "CacheStats",
+    "MergeStats",
     "WorkerPool",
     "PoolStats",
     "DetectionJob",
@@ -72,4 +93,15 @@ __all__ = [
     "expand_grid",
     "plan_sweep",
     "run_sweep",
+    "SweepShard",
+    "partition_plan",
+    "shard_sort_key",
+    "SweepCoordinator",
+    "ShardStats",
+    "ShardedSweepOutcome",
+    "run_sharded_sweep",
+    "SweepAggregate",
+    "aggregate_sweep",
+    "point_rows",
+    "write_aggregate",
 ]

@@ -110,6 +110,47 @@ class CacheStats:
         )
 
 
+@dataclass
+class MergeStats:
+    """Outcome of one :meth:`ResultStore.merge_from` call.
+
+    Attributes:
+        copied: source rows new to (or replacing a stale row of) this store.
+        merged: rows present in both stores with identical payloads — their
+            usage counters were combined.
+        conflicts: rows present in both stores with *differing* current
+            payloads; the more-used (then newer) row won.
+        stale_skipped: source rows under an outdated schema version,
+            ignored entirely (they would read as misses anyway).
+    """
+
+    copied: int = 0
+    merged: int = 0
+    conflicts: int = 0
+    stale_skipped: int = 0
+
+    @property
+    def total(self) -> int:
+        """Source rows examined (stale ones included)."""
+        return self.copied + self.merged + self.conflicts + self.stale_skipped
+
+    def combined(self, other: "MergeStats") -> "MergeStats":
+        """Field-wise sum — fold per-shard merges into one total."""
+        return MergeStats(
+            copied=self.copied + other.copied,
+            merged=self.merged + other.merged,
+            conflicts=self.conflicts + other.conflicts,
+            stale_skipped=self.stale_skipped + other.stale_skipped,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.copied} copied, {self.merged} merged, "
+            f"{self.conflicts} conflict(s), {self.stale_skipped} stale skipped"
+        )
+
+
 class ResultStore:
     """Persistent fingerprint -> JSON-payload store.
 
@@ -416,6 +457,100 @@ class ResultStore:
                 "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
             ).fetchone()
         return row is not None
+
+    # ------------------------------------------------------------------
+    _ROW_COLUMNS = (
+        "fingerprint, payload, created_at, last_used_at, use_count, "
+        "num_gtls, runtime_seconds, kind, schema_version"
+    )
+
+    def merge_from(self, source: "ResultStore | str") -> MergeStats:
+        """Fold every row of ``source`` into this store.
+
+        ``source`` is another :class:`ResultStore` or a cache-directory
+        path (e.g. one shard's private store after a sharded sweep).  The
+        source is only read, never modified.  Reconciliation is row-by-row
+        on the fingerprint primary key:
+
+        * a source row under an **outdated schema version** for its kind is
+          skipped — it would read as a miss anywhere;
+        * a fingerprint **absent** here (or present only as a stale row) is
+          copied verbatim, usage history included;
+        * present with an **identical payload**: the rows describe the same
+          computation, so usage is combined — ``use_count`` summed,
+          ``created_at`` the earlier, ``last_used_at`` the later;
+        * present with a **different current payload** (two
+          nondeterministic writes under one fingerprint cannot happen — the
+          runner never stores them — but clock-skewed kind revisions can):
+          the row with the higher ``use_count`` wins, ties to the newer
+          ``last_used_at``.  Counted as a conflict either way.
+        """
+        self._require_open()
+        stats = MergeStats()
+        owns_source = isinstance(source, str)
+        src = ResultStore(source) if owns_source else source
+        try:
+            src._require_open()
+            with src._lock, src._wrap_db("merge read"):
+                rows = src._conn.execute(
+                    f"SELECT {self._ROW_COLUMNS} FROM results"
+                ).fetchall()
+            with self._lock, self._wrap_db("merge write"):
+                for row in rows:
+                    self._merge_row(row, stats)
+                self._conn.commit()
+        finally:
+            if owns_source:
+                src.close()
+        if trace.enabled():
+            trace.counter("store.merge.copied").add(stats.copied)
+            trace.counter("store.merge.merged").add(stats.merged)
+            trace.counter("store.merge.conflicts").add(stats.conflicts)
+            trace.counter("store.merge.stale_skipped").add(stats.stale_skipped)
+        return stats
+
+    def _merge_row(self, row: Tuple, stats: MergeStats) -> None:
+        """Reconcile one source row into this store (caller holds the lock
+        and commits)."""
+        (fingerprint, payload, created_at, last_used_at, use_count,
+         num_gtls, runtime_seconds, kind, schema_version) = row
+        if schema_version != row_schema_version(kind):
+            stats.stale_skipped += 1
+            return
+        mine = self._conn.execute(
+            "SELECT payload, created_at, last_used_at, use_count, "
+            "kind, schema_version FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if mine is not None and mine[5] == row_schema_version(mine[4]):
+            (my_payload, my_created, my_used, my_count, _, _) = mine
+            if my_payload == payload:
+                self._conn.execute(
+                    "UPDATE results SET use_count = ?, created_at = ?, "
+                    "last_used_at = ? WHERE fingerprint = ?",
+                    (
+                        my_count + use_count,
+                        min(my_created, created_at),
+                        max(my_used, last_used_at),
+                        fingerprint,
+                    ),
+                )
+                stats.merged += 1
+                return
+            stats.conflicts += 1
+            if (my_count, my_used) >= (use_count, last_used_at):
+                return  # my row wins; the source row is dropped
+            # fall through: the source row replaces mine
+        elif mine is None:
+            stats.copied += 1
+        else:
+            stats.copied += 1  # replacing my stale row is a copy
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results "
+            f"({self._ROW_COLUMNS}) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (fingerprint, payload, created_at, last_used_at, use_count,
+             num_gtls, runtime_seconds, kind, schema_version),
+        )
 
     # ------------------------------------------------------------------
     def close(self) -> None:

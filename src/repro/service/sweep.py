@@ -74,7 +74,13 @@ def expand_grid(
     known = set(FinderConfig.__dataclass_fields__)
     for axis in axes:
         if axis not in known:
-            raise ServiceError(f"unknown sweep axis {axis!r} (not a FinderConfig field)")
+            # Same shape as replace_checked's unknown-field error: name the
+            # class and list what would have been accepted.
+            valid = ", ".join(sorted(known))
+            raise ServiceError(
+                f"unknown sweep axis {axis!r} (not a FinderConfig field); "
+                f"valid fields: {valid}"
+            )
         if not grid[axis]:
             raise ServiceError(f"sweep axis {axis!r} has no values")
     combos: List[Tuple[Dict[str, object], FinderConfig]] = []

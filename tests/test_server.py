@@ -584,3 +584,96 @@ def test_daemon_delta_submit_validation(corpus, daemon_factory):
             {"op": "submit", "kind": "detect", "design": path,
              "delta": "not-a-dict"}
         )
+
+
+# ----------------------------------------------------------------------
+# Job groups and per-class depths (sharded sweeps over the daemon)
+# ----------------------------------------------------------------------
+def test_status_reports_per_priority_class_depths(corpus, daemon_factory):
+    daemon, client = daemon_factory(start_scheduler=False)
+    path, _ = corpus["a"]
+    client.submit(path, config={"num_seeds": 6, "seed": 40},
+                  priority="interactive", wait=False)
+    for seed in (41, 42):
+        client.submit(path, config={"num_seeds": 6, "seed": seed},
+                      priority="sweep", wait=False)
+    depths = client.status()["queue"]["depths"]
+    assert depths == {"interactive": 1, "batch": 0, "sweep": 2}
+
+
+def test_cli_status_prints_per_class_depths(corpus, daemon_factory, capsys):
+    daemon, client = daemon_factory(start_scheduler=False)
+    path, _ = corpus["a"]
+    client.submit(path, config={"num_seeds": 6, "seed": 50},
+                  priority="sweep", wait=False, group="sweep/shard-0")
+    assert main(["status", "--socket", daemon.config.socket_path]) == 0
+    out = capsys.readouterr().out
+    assert "(interactive=0 batch=0 sweep=1)" in out
+    assert "[sweep/shard-0]" in out
+
+
+def test_status_group_filter(corpus, daemon_factory):
+    daemon, client = daemon_factory(start_scheduler=False)
+    path, _ = corpus["a"]
+    client.submit(path, config={"num_seeds": 6, "seed": 60},
+                  priority="sweep", wait=False, group="night/shard-0")
+    client.submit(path, config={"num_seeds": 6, "seed": 61},
+                  priority="sweep", wait=False, group="night/shard-1")
+    client.submit(path, config={"num_seeds": 6, "seed": 62}, wait=False)
+    grouped = client.status(group="night/shard-1")["jobs"]
+    assert len(grouped) == 1
+    assert grouped[0]["group"] == "night/shard-1"
+    assert len(client.status()["jobs"]) == 3
+
+
+def test_sharded_sweep_via_daemon_matches_local(corpus, daemon_factory):
+    """--via-daemon parity: priority-class-sweep submits, merged back into
+    point order, bit-identical to the local coordinator."""
+    from repro.service.aggregate import point_rows
+    from repro.service.coordinator import SweepCoordinator
+
+    daemon, _ = daemon_factory()
+    designs = [("a", corpus["a"][1]), ("b", corpus["b"][1])]
+    design_paths = {"a": corpus["a"][0], "b": corpus["b"][0]}
+    base = FinderConfig(num_seeds=4, seed=3)
+    grid = {"lambda_skip": [0, 10]}
+
+    remote = SweepCoordinator(
+        2, cache_dir=None, use_cache=False,
+        daemon_socket=daemon.config.socket_path, group="parity",
+    ).run(designs, base, grid, design_paths=design_paths)
+    assert remote.mode == "daemon"
+    assert all(result.ok for result in remote.job_results)
+    local = SweepCoordinator(2, cache_dir=None, use_cache=False).run(
+        designs, base, grid
+    )
+
+    def rows(outcome):
+        out = point_rows(outcome)
+        for row in out:
+            row.pop("runtime_seconds")
+            row.pop("cached")
+            row["report"].pop("runtime_seconds")
+        return out
+
+    assert rows(remote) == rows(local)
+    # Every daemon-side job carries the coordinator's shard group.
+    with Client(daemon.config.socket_path) as client:
+        jobs = client.status(group="parity/shard-0")["jobs"]
+    assert jobs and all(job["priority"] == "sweep" for job in jobs)
+
+
+def test_via_daemon_requires_design_paths(corpus, daemon_factory):
+    from repro.errors import ServiceError
+    from repro.service.coordinator import SweepCoordinator
+
+    daemon, _ = daemon_factory()
+    coordinator = SweepCoordinator(
+        2, cache_dir=None, use_cache=False,
+        daemon_socket=daemon.config.socket_path,
+    )
+    with pytest.raises(ServiceError, match="design_paths"):
+        coordinator.run(
+            [("a", corpus["a"][1])], FinderConfig(num_seeds=4, seed=3),
+            {"lambda_skip": [0]},
+        )

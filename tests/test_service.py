@@ -283,6 +283,18 @@ def test_expand_grid_orders_and_validates():
         expand_grid(CFG, {"num_seeds": [0]})  # invalid value -> ServiceError
 
 
+def test_expand_grid_unknown_axis_lists_valid_fields():
+    import dataclasses
+
+    with pytest.raises(ServiceError) as excinfo:
+        expand_grid(CFG, {"lamda_skip": [1]})  # typo'd axis
+    message = str(excinfo.value)
+    assert "lamda_skip" in message and "valid fields" in message
+    # Every real FinderConfig field is named, so the fix is in the error.
+    for config_field in dataclasses.fields(FinderConfig):
+        assert config_field.name in message
+
+
 def test_plan_sweep_deduplicates_overlapping_points(small):
     netlist, _ = small
     # lambda_skip=20 equals the base value, so the grid collapses 4 -> 2.
